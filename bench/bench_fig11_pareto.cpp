@@ -1,0 +1,39 @@
+/// Fig 11 — overall performance breakdown on GPT-XL: each system as a
+/// point in (memory footprint, training time) space; closer to the origin
+/// is better. Paper: MPipeMoE dominates FastMoE/FasterMoE; PipeMoE is the
+/// fastest, MPipeMoE trades a little time for the smallest footprint.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mpipe;
+  using namespace mpipe::bench;
+
+  const auto spec = runtime::gpt_xl();
+  const std::int64_t b = 16384;
+
+  TablePrinter table({"system", "memory (MiB)", "time (ms)"});
+  CsvWriter csv("fig11_pareto.csv", {"system", "memory_mib", "time_ms"});
+
+  auto emit = [&](const std::string& name, const core::StepReport& r) {
+    table.add_row({name,
+                   fmt(mib(static_cast<double>(r.memory.total_peak)), 0),
+                   fmt(to_ms(r.step_seconds()), 2)});
+    csv.row({name,
+             CsvWriter::num(mib(static_cast<double>(r.memory.total_peak))),
+             CsvWriter::num(to_ms(r.step_seconds()))});
+  };
+
+  sim::Cluster c1 = paper_pod(), c2 = paper_pod(), c3 = paper_pod(),
+               c4 = paper_pod(), c5 = paper_pod();
+  emit("FastMoE", fastmoe_step(c1, spec, b, 0.01));
+  emit("FasterMoE", fastermoe_step(c2, spec, b, 0.01));
+  emit("PipeMoE(n=4)", pipemoe_step(c3, spec, b, 4, false, 0.01));
+  emit("PipeMoE", pipemoe_step(c4, spec, b, 0, false, 0.01));
+  emit("MPipeMoE", pipemoe_step(c5, spec, b, 0, true, 0.01));
+
+  std::printf("Fig 11: memory-time coordinates, GPT-XL, B=16k, 64 GPUs\n");
+  std::printf("(closer to the origin is better)\n\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// google-benchmark microbench: the functional GEMM kernels that carry all
+/// expert math in full (numeric) execution mode.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/random_init.h"
+
+namespace {
+
+using namespace mpipe;
+
+void BM_GemmNN(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t k = state.range(1);
+  const std::int64_t n = state.range(2);
+  Rng rng(1);
+  Tensor a(Shape{m, k}), b(Shape{k, n}), c(Shape{m, n});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(gemm_flops(m, n, k)));
+}
+BENCHMARK(BM_GemmNN)
+    ->Args({64, 64, 256})
+    ->Args({256, 256, 1024})
+    ->Args({512, 1024, 4096});
+
+void BM_GemmTN(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{m, 256}), b(Shape{m, 256}), c(Shape{256, 256});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  for (auto _ : state) {
+    gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTN)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{m, 256}), b(Shape{256, 256}), c(Shape{m, 256});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  for (auto _ : state) {
+    gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/// Domain scenario 3 — fitting a bigger batch under a fixed memory budget.
+/// The paper's motivation for memory reuse: larger batches drive GPU
+/// utilisation up, but activations + temp buffers blow past device memory.
+/// This demo sweeps the batch size on a GPT-XL-like layer under a hard
+/// per-GPU capacity and shows the largest batch each system can run —
+/// MPipeMoE's ring-buffer reuse fits markedly more tokens.
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "core/moe_layer.h"
+#include "mem/device_allocator.h"
+
+namespace {
+
+using namespace mpipe;
+
+/// Largest power-of-two batch that fits under the capacity.
+std::int64_t max_batch(sim::Cluster& cluster, bool reuse,
+                       std::uint64_t capacity) {
+  std::int64_t best = 0;
+  for (std::int64_t b = 1024; b <= 262144; b *= 2) {
+    core::MoELayerOptions o;
+    o.d_model = 2048;
+    o.d_hidden = 8192;
+    o.num_experts = 64;
+    o.num_partitions = 8;
+    o.memory_reuse = reuse;
+    if (reuse) o.strategy = core::ReuseStrategy::kS3;
+    o.device_capacity_bytes = capacity;
+    o.mode = core::ExecutionMode::kTimingOnly;
+    core::MoELayer layer(cluster, o);
+    try {
+      layer.step_timing(b);
+      best = b;
+    } catch (const mem::OutOfMemoryError&) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== batch scaling under a fixed per-GPU memory budget ===\n");
+  std::printf("(GPT-XL-like layer, 64 simulated GPUs, n = 8)\n\n");
+  std::printf("%-10s %-22s %-22s\n", "budget", "PipeMoE max batch",
+              "MPipeMoE max batch");
+  for (std::uint64_t budget_gib : {2, 4, 8}) {
+    sim::Cluster c1 = sim::Cluster::dgx_a100_pod(8, 8);
+    sim::Cluster c2 = sim::Cluster::dgx_a100_pod(8, 8);
+    const std::uint64_t capacity = budget_gib * GiB;
+    const auto without = max_batch(c1, false, capacity);
+    const auto with_reuse = max_batch(c2, true, capacity);
+    std::printf("%llu GiB      %-22lld %-22lld\n",
+                static_cast<unsigned long long>(budget_gib),
+                static_cast<long long>(without),
+                static_cast<long long>(with_reuse));
+  }
+  std::printf("\nHigher batch -> higher GPU utilisation (paper Fig 2); the "
+              "reuse strategies buy that headroom.\n");
+  return 0;
+}

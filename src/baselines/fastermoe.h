@@ -1,0 +1,81 @@
+#pragma once
+/// \file fastermoe.h
+/// FasterMoE-style baseline (paper §III-B, Fig 5a): the batch tensor is
+/// split along the *device* dimension, so each pipeline step gathers one
+/// destination's tokens with point-to-point transfers, computes that
+/// expert, and scatters results back — granularity fixed at the device
+/// count. Every fragment pays its own launch latency and the destination's
+/// comm stream serialises arrivals; under heterogeneous bandwidth the
+/// per-step synchronisation waits for the slowest link. Includes dynamic
+/// expert shadowing (timing mode), which trades replicated expert memory
+/// for reduced traffic on hot experts.
+
+#include <deque>
+
+#include "baselines/shadowing.h"
+#include "core/execution_context.h"
+#include "core/pipeline_executor.h"
+#include "mem/device_allocator.h"
+#include "moe/expert.h"
+#include "moe/gating.h"
+#include "sim/cluster.h"
+#include "comm/process_group.h"
+
+namespace mpipe::baselines {
+
+struct FasterMoEOptions {
+  std::int64_t d_model = 1024;
+  std::int64_t d_hidden = 4096;
+  int num_experts = 64;
+  moe::ActivationKind activation = moe::ActivationKind::kReLU;
+  /// CUDA-core vs Tensor-Core throughput ratio.
+  double compute_scale = 0.45;
+  /// Shadowing applies to timing-mode steps; functional steps validate the
+  /// P2P pipeline numerics without it.
+  ShadowingConfig shadowing{};
+  core::ExecutionMode mode = core::ExecutionMode::kFull;
+  std::uint64_t seed = 42;
+};
+
+class FasterMoELayer {
+ public:
+  FasterMoELayer(sim::Cluster& cluster, FasterMoEOptions options);
+
+  std::vector<Tensor> forward(const std::vector<Tensor>& inputs);
+  std::vector<Tensor> backward(const std::vector<Tensor>& grad_outputs);
+  core::StepReport step_timing(std::int64_t tokens_per_device,
+                               double skew = 0.0);
+
+  const core::StepReport& last_report() const { return report_; }
+  mem::DeviceAllocator& allocator(int device);
+  int num_devices() const { return cluster_->num_devices(); }
+  int experts_per_device() const {
+    return options_.num_experts / num_devices();
+  }
+  moe::GatingNetwork& gate(int device);
+  moe::ExpertFFN& expert(int device, int local_index);
+
+ private:
+  void setup_forward_buffers(core::MoeStepContext& ctx);
+  void setup_backward_buffers(core::MoeStepContext& ctx);
+  sim::OpGraph build_forward(core::MoeStepContext& ctx,
+                             const ShadowingDecision& shadow);
+  sim::OpGraph build_backward(core::MoeStepContext& ctx,
+                              const ShadowingDecision& shadow);
+  /// Rows device d computes given the shadowing decision.
+  std::int64_t compute_rows(const core::MoeStepContext& ctx, int device,
+                            const ShadowingDecision& shadow) const;
+
+  sim::Cluster* cluster_;
+  FasterMoEOptions options_;
+  comm::ProcessGroup world_;
+  std::deque<mem::DeviceAllocator> allocators_;
+  std::vector<moe::GatingNetwork> gates_;
+  std::vector<std::vector<moe::ExpertFFN>> experts_;
+  std::vector<mem::Allocation> model_state_allocs_;
+  std::vector<mem::Allocation> shadow_allocs_;  ///< live during a step
+  std::optional<core::MoeStepContext> ctx_;
+  core::StepReport report_;
+};
+
+}  // namespace mpipe::baselines

@@ -1,0 +1,52 @@
+#pragma once
+/// \file fastmoe.h
+/// FastMoE-style baseline: primitive expert parallelism. The whole batch
+/// is dispatched with one AllToAll, the expert runs, one AllToAll combines
+/// — communication and computation strictly in sequence, no memory reuse,
+/// CUDA-core GEMM throughput (the paper credits part of PipeMoE's win to
+/// Tensor Cores). Serial execution frees gradient scratch eagerly, so the
+/// temp-buffer peak follows Eq 3 (BM + BH).
+
+#include "core/moe_layer.h"
+
+namespace mpipe::baselines {
+
+struct FastMoEOptions {
+  std::int64_t d_model = 1024;
+  std::int64_t d_hidden = 4096;
+  int num_experts = 64;
+  moe::ActivationKind activation = moe::ActivationKind::kReLU;
+  /// CUDA-core vs Tensor-Core throughput ratio.
+  double compute_scale = 0.45;
+  /// FastMoE's AllToAll is grouped per-pair send/recv, not a fused
+  /// collective — it reaches only the P2P share of the fabric.
+  double comm_scale = 0.45;
+  core::ExecutionMode mode = core::ExecutionMode::kFull;
+  std::uint64_t seed = 42;
+};
+
+/// Thin adapter over MoELayer with pipelining and reuse disabled.
+class FastMoELayer {
+ public:
+  FastMoELayer(sim::Cluster& cluster, FastMoEOptions options);
+
+  std::vector<Tensor> forward(const std::vector<Tensor>& inputs) {
+    return layer_.forward(inputs);
+  }
+  std::vector<Tensor> backward(const std::vector<Tensor>& grad_outputs) {
+    return layer_.backward(grad_outputs);
+  }
+  core::StepReport step_timing(std::int64_t tokens_per_device,
+                               double skew = 0.0) {
+    return layer_.step_timing(tokens_per_device, skew);
+  }
+  const core::StepReport& last_report() const {
+    return layer_.last_report();
+  }
+  core::MoELayer& layer() { return layer_; }
+
+ private:
+  core::MoELayer layer_;
+};
+
+}  // namespace mpipe::baselines

@@ -1,0 +1,54 @@
+#include "baselines/shadowing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpipe::baselines {
+
+bool ShadowingDecision::is_shadowed(int device) const {
+  return std::find(shadowed.begin(), shadowed.end(), device) !=
+         shadowed.end();
+}
+
+ShadowingDecision select_shadowed(const std::vector<std::int64_t>& recv_rows,
+                                  const ShadowingConfig& config) {
+  ShadowingDecision decision;
+  if (!config.enabled || recv_rows.empty()) return decision;
+  MPIPE_EXPECTS(config.threshold > 1.0, "threshold must exceed the mean");
+  double mean = 0.0;
+  for (std::int64_t r : recv_rows) mean += static_cast<double>(r);
+  mean /= static_cast<double>(recv_rows.size());
+  if (mean <= 0.0) return decision;
+
+  // Hottest destinations first.
+  std::vector<int> order(recv_rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return recv_rows[static_cast<std::size_t>(a)] >
+           recv_rows[static_cast<std::size_t>(b)];
+  });
+  for (int device : order) {
+    if (static_cast<int>(decision.shadowed.size()) >= config.max_shadowed) {
+      break;
+    }
+    if (static_cast<double>(recv_rows[static_cast<std::size_t>(device)]) >
+        config.threshold * mean) {
+      decision.shadowed.push_back(device);
+    }
+  }
+  return decision;
+}
+
+std::uint64_t shadow_bytes_per_destination(std::int64_t d_model,
+                                           std::int64_t d_hidden,
+                                           int experts_per_device) {
+  // Parameters + gradients of the replicated experts.
+  return 2ull * static_cast<std::uint64_t>(experts_per_device) * 2ull *
+         static_cast<std::uint64_t>(d_model) *
+         static_cast<std::uint64_t>(d_hidden) * sizeof(float);
+}
+
+}  // namespace mpipe::baselines

@@ -1,0 +1,38 @@
+#pragma once
+/// \file shadowing.h
+/// FasterMoE's dynamic expert shadowing: when a destination device is about
+/// to receive far more tokens than average (a "hot" expert), its expert
+/// parameters are broadcast to every device and those tokens are processed
+/// locally instead of being sent — trading replicated model-state memory
+/// for AllToAll traffic.
+
+#include <cstdint>
+#include <vector>
+
+namespace mpipe::baselines {
+
+struct ShadowingConfig {
+  bool enabled = true;
+  /// A destination is shadowed when it would receive more than
+  /// `threshold` × the mean token count.
+  double threshold = 1.5;
+  /// Upper bound on simultaneously shadowed destinations.
+  int max_shadowed = 4;
+};
+
+struct ShadowingDecision {
+  std::vector<int> shadowed;  ///< destination devices whose experts shadow
+  bool is_shadowed(int device) const;
+};
+
+/// Picks the shadowed destinations from per-destination receive rows.
+ShadowingDecision select_shadowed(const std::vector<std::int64_t>& recv_rows,
+                                  const ShadowingConfig& config);
+
+/// Bytes each device gains in replicated parameters + gradients for one
+/// shadowed destination (experts_per_device FFNs of 2*M*H each, fp32).
+std::uint64_t shadow_bytes_per_destination(std::int64_t d_model,
+                                           std::int64_t d_hidden,
+                                           int experts_per_device);
+
+}  // namespace mpipe::baselines

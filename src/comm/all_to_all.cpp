@@ -1,0 +1,78 @@
+#include "comm/all_to_all.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/check.h"
+
+namespace mpipe::comm {
+
+void apply_segments(const std::vector<RowSegment>& segments) {
+  for (const RowSegment& seg : segments) {
+    if (seg.rows == 0) continue;
+    MPIPE_CHECK(seg.src != nullptr && seg.dst != nullptr,
+                "segment with null tensor");
+    MPIPE_CHECK(seg.src->shape().rank() == 2 && seg.dst->shape().rank() == 2,
+                "segments move matrix rows");
+    const std::int64_t cols = seg.src->dim(1);
+    MPIPE_CHECK(seg.dst->dim(1) == cols, "segment column mismatch");
+    MPIPE_CHECK(seg.src_row >= 0 && seg.src_row + seg.rows <= seg.src->dim(0),
+                "segment source rows out of bounds");
+    MPIPE_CHECK(seg.dst_row >= 0 && seg.dst_row + seg.rows <= seg.dst->dim(0),
+                "segment destination rows out of bounds");
+    std::memcpy(seg.dst->data() + seg.dst_row * cols,
+                seg.src->data() + seg.src_row * cols,
+                static_cast<std::size_t>(seg.rows * cols) * sizeof(float));
+  }
+}
+
+std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments) {
+  std::map<int, std::uint64_t> sent;
+  for (const RowSegment& seg : segments) {
+    if (seg.src_device == seg.dst_device) continue;  // local copy is free
+    sent[seg.src_device] += static_cast<std::uint64_t>(seg.rows) *
+                            static_cast<std::uint64_t>(seg.src->dim(1)) *
+                            sizeof(float);
+  }
+  std::uint64_t mx = 0;
+  for (const auto& [device, bytes] : sent) mx = std::max(mx, bytes);
+  return mx;
+}
+
+namespace {
+double alltoall_duration(const ProcessGroup& group,
+                         std::uint64_t payload_bytes) {
+  // alltoall_seconds models a symmetric exchange of bytes_per_device with a
+  // (P-1)/P factor; the payload already excludes the self share, so
+  // compensate.
+  if (group.size() <= 1) {
+    return group.cluster().cost_model().config().comm_launch_latency;
+  }
+  const double p = static_cast<double>(group.size());
+  const std::uint64_t bytes_per_device = static_cast<std::uint64_t>(
+      static_cast<double>(payload_bytes) * p / (p - 1.0));
+  return group.cluster().cost_model().alltoall_seconds(bytes_per_device,
+                                                       group.devices());
+}
+}  // namespace
+
+int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
+             std::vector<RowSegment> segments, std::string label,
+             std::vector<int> deps) {
+  const double seconds = alltoall_duration(group, max_bytes_sent(segments));
+  auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
+  return graph.add(std::move(label), sim::OpCategory::kAllToAll,
+                   sim::StreamKind::kComm, group.devices(), seconds,
+                   std::move(deps), [moved] { apply_segments(*moved); });
+}
+
+int alltoall_timed(sim::OpGraph& graph, const ProcessGroup& group,
+                   std::uint64_t payload_bytes, std::string label,
+                   std::vector<int> deps) {
+  const double seconds = alltoall_duration(group, payload_bytes);
+  return graph.add(std::move(label), sim::OpCategory::kAllToAll,
+                   sim::StreamKind::kComm, group.devices(), seconds,
+                   std::move(deps), nullptr);
+}
+
+}  // namespace mpipe::comm

@@ -1,0 +1,48 @@
+#pragma once
+/// \file all_to_all.h
+/// Fused AllToAll — the dispatch/combine primitive of expert parallelism
+/// (paper Fig 1). MPipeMoE's split-by-B pipelining issues one of these per
+/// micro-batch (Fig 5b); the FasterMoE baseline instead fragments the
+/// exchange into per-destination P2P chains (comm/p2p.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "sim/op_graph.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::comm {
+
+/// One contiguous block of rows moving between two device-resident
+/// matrices. Tensors must outlive the graph execution.
+struct RowSegment {
+  int src_device = 0;
+  const Tensor* src = nullptr;
+  std::int64_t src_row = 0;
+  int dst_device = 0;
+  Tensor* dst = nullptr;
+  std::int64_t dst_row = 0;
+  std::int64_t rows = 0;
+};
+
+/// Executes all segments functionally and copies them byte-exactly.
+void apply_segments(const std::vector<RowSegment>& segments);
+
+/// Bytes the busiest participant sends (drives the collective's duration).
+std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments);
+
+/// Appends one fused AllToAll op over the group's comm streams. Returns the
+/// op id. Row counts may be ragged across pairs (AllToAll-v semantics).
+int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
+             std::vector<RowSegment> segments, std::string label,
+             std::vector<int> deps);
+
+/// Timing-only AllToAll: `payload_bytes` is what the busiest participant
+/// sends to peers (excluding its local share); no functional closure.
+int alltoall_timed(sim::OpGraph& graph, const ProcessGroup& group,
+                   std::uint64_t payload_bytes, std::string label,
+                   std::vector<int> deps);
+
+}  // namespace mpipe::comm

@@ -1,0 +1,98 @@
+#include "comm/p2p.h"
+
+#include "common/check.h"
+
+namespace mpipe::comm {
+
+int send_recv(sim::OpGraph& graph, const ProcessGroup& group,
+              RowSegment segment, std::string label, std::vector<int> deps) {
+  MPIPE_EXPECTS(segment.src != nullptr && segment.dst != nullptr,
+                "p2p with null tensor");
+  const auto& cost = group.cluster().cost_model();
+  double seconds;
+  std::vector<int> devices;
+  if (segment.src_device == segment.dst_device) {
+    // Local copy: charged as an on-device memcpy-speed move on the comm
+    // stream (it still occupies a kernel slot in NCCL-style pipelines).
+    seconds = cost.config().comm_launch_latency;
+    devices = {segment.src_device};
+  } else {
+    const std::uint64_t bytes = static_cast<std::uint64_t>(segment.rows) *
+                                static_cast<std::uint64_t>(segment.src->dim(1)) *
+                                sizeof(float);
+    // NCCL posts sends asynchronously; arrivals serialise at the
+    // receiver's comm stream. Occupying only the destination models that
+    // (and avoids artificial convoy locking across unrelated pairs).
+    seconds = cost.p2p_seconds(bytes, segment.src_device, segment.dst_device);
+    devices = {segment.dst_device};
+  }
+  auto moved = std::make_shared<RowSegment>(segment);
+  return graph.add(std::move(label), sim::OpCategory::kP2P,
+                   sim::StreamKind::kComm, std::move(devices), seconds,
+                   std::move(deps), [moved] { apply_segments({*moved}); });
+}
+
+int send_recv_multi(sim::OpGraph& graph, const ProcessGroup& group,
+                    std::vector<RowSegment> segments, std::string label,
+                    std::vector<int> deps) {
+  MPIPE_EXPECTS(!segments.empty(), "p2p with no segments");
+  const int src = segments[0].src_device;
+  const int dst = segments[0].dst_device;
+  std::uint64_t bytes = 0;
+  for (const RowSegment& seg : segments) {
+    MPIPE_EXPECTS(seg.src_device == src && seg.dst_device == dst,
+                  "send_recv_multi segments must share endpoints");
+    bytes += static_cast<std::uint64_t>(seg.rows) *
+             static_cast<std::uint64_t>(seg.src->dim(1)) * sizeof(float);
+  }
+  const auto& cost = group.cluster().cost_model();
+  double seconds;
+  std::vector<int> devices;
+  if (src == dst) {
+    seconds = cost.config().comm_launch_latency;
+    devices = {src};
+  } else {
+    seconds = cost.p2p_seconds(bytes, src, dst);
+    devices = {dst};
+  }
+  auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
+  return graph.add(std::move(label), sim::OpCategory::kP2P,
+                   sim::StreamKind::kComm, std::move(devices), seconds,
+                   std::move(deps), [moved] { apply_segments(*moved); });
+}
+
+int send_recv_timed(sim::OpGraph& graph, const ProcessGroup& group,
+                    int src_device, int dst_device, std::uint64_t bytes,
+                    std::string label, std::vector<int> deps) {
+  const auto& cost = group.cluster().cost_model();
+  double seconds;
+  std::vector<int> devices;
+  if (src_device == dst_device) {
+    seconds = cost.config().comm_launch_latency;
+    devices = {src_device};
+  } else {
+    seconds = cost.p2p_seconds(bytes, src_device, dst_device);
+    devices = {dst_device};
+  }
+  return graph.add(std::move(label), sim::OpCategory::kP2P,
+                   sim::StreamKind::kComm, std::move(devices), seconds,
+                   std::move(deps), nullptr);
+}
+
+std::vector<int> gather_to(sim::OpGraph& graph, const ProcessGroup& group,
+                           int root_rank, std::vector<RowSegment> segments,
+                           const std::string& label, std::vector<int> deps) {
+  const int root_device = group.device_of_rank(root_rank);
+  std::vector<int> ops;
+  ops.reserve(segments.size());
+  for (RowSegment& seg : segments) {
+    MPIPE_EXPECTS(seg.dst_device == root_device,
+                  "gather segment not targeting the root");
+    ops.push_back(send_recv(graph, group, seg,
+                            label + ":from" + std::to_string(seg.src_device),
+                            deps));
+  }
+  return ops;
+}
+
+}  // namespace mpipe::comm

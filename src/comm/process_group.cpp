@@ -1,0 +1,40 @@
+#include "comm/process_group.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpipe::comm {
+
+ProcessGroup::ProcessGroup(const sim::Cluster& cluster,
+                           std::vector<int> devices)
+    : cluster_(&cluster), devices_(std::move(devices)) {
+  MPIPE_EXPECTS(!devices_.empty(), "empty process group");
+  for (int d : devices_) {
+    MPIPE_EXPECTS(d >= 0 && d < cluster.num_devices(),
+                  "process group device out of range");
+  }
+  std::vector<int> sorted = devices_;
+  std::sort(sorted.begin(), sorted.end());
+  MPIPE_EXPECTS(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "duplicate device in process group");
+}
+
+ProcessGroup ProcessGroup::world(const sim::Cluster& cluster) {
+  return ProcessGroup(cluster, cluster.all_device_ids());
+}
+
+int ProcessGroup::device_of_rank(int rank) const {
+  MPIPE_EXPECTS(rank >= 0 && rank < size(), "rank out of range");
+  return devices_[static_cast<std::size_t>(rank)];
+}
+
+int ProcessGroup::rank_of_device(int device) const {
+  for (int r = 0; r < size(); ++r) {
+    if (devices_[static_cast<std::size_t>(r)] == device) return r;
+  }
+  MPIPE_UNREACHABLE("device not in process group");
+}
+
+}  // namespace mpipe::comm

@@ -1,0 +1,33 @@
+#pragma once
+/// \file process_group.h
+/// A communicator over a subset of cluster devices — the sNCCL ("simulated
+/// NCCL") equivalent of ncclComm_t. Collectives are expressed as OpGraph
+/// nodes: real row movement between device tensors in the functional
+/// closure, a timed op on the participants' comm streams for the schedule.
+
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace mpipe::comm {
+
+class ProcessGroup {
+ public:
+  /// Ranks are cluster device ids; order defines rank numbering.
+  ProcessGroup(const sim::Cluster& cluster, std::vector<int> devices);
+
+  /// World group covering every device.
+  static ProcessGroup world(const sim::Cluster& cluster);
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  int device_of_rank(int rank) const;
+  int rank_of_device(int device) const;
+  const std::vector<int>& devices() const { return devices_; }
+  const sim::Cluster& cluster() const { return *cluster_; }
+
+ private:
+  const sim::Cluster* cluster_;
+  std::vector<int> devices_;
+};
+
+}  // namespace mpipe::comm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file check.h
+/// Precondition / postcondition / invariant checking in the spirit of the
+/// C++ Core Guidelines Expects()/Ensures(). Violations throw, so tests can
+/// assert on them; they are never compiled out (this library favours
+/// "catch run-time errors early" over the last few percent of speed on the
+/// control path — the hot loops in tensor/ never call these per element).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpipe {
+
+/// Error thrown by all MPIPE_CHECK-family macros.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mpipe
+
+/// General invariant check. Usage: MPIPE_CHECK(n > 0, "need positive n");
+#define MPIPE_CHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mpipe::detail::check_failed("check", #cond, __FILE__, __LINE__,    \
+                                    ::std::string{__VA_ARGS__});           \
+    }                                                                      \
+  } while (false)
+
+/// Precondition on public API entry (Expects).
+#define MPIPE_EXPECTS(cond, ...)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mpipe::detail::check_failed("precondition", #cond, __FILE__,       \
+                                    __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                                      \
+  } while (false)
+
+/// Postcondition on exit (Ensures).
+#define MPIPE_ENSURES(cond, ...)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mpipe::detail::check_failed("postcondition", #cond, __FILE__,      \
+                                    __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                                      \
+  } while (false)
+
+/// Marks unreachable control flow.
+#define MPIPE_UNREACHABLE(msg)                                             \
+  ::mpipe::detail::check_failed("unreachable", "false", __FILE__, __LINE__, msg)

@@ -1,0 +1,32 @@
+#include "common/csv_writer.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  MPIPE_EXPECTS(!header.empty());
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  MPIPE_EXPECTS(cells.size() == width_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace mpipe

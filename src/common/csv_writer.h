@@ -1,0 +1,29 @@
+#pragma once
+/// \file csv_writer.h
+/// Tiny CSV emitter used by benches so figure data can be re-plotted.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mpipe {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; width must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace mpipe

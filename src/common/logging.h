@@ -1,0 +1,71 @@
+#pragma once
+/// \file logging.h
+/// Minimal leveled logger. Thread safe; level settable via code or the
+/// MPIPE_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mpipe {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  /// Process-wide singleton.
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Writes one formatted line; no-op when below the current level.
+  void write(LogLevel level, const std::string& message);
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  LogLevel level_;
+};
+
+/// Parses a level name; defaults to kInfo for unknown names.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+/// Stream-style one-shot log line builder.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mpipe
+
+#define MPIPE_LOG(level) ::mpipe::detail::LogLine(level)
+#define MPIPE_LOG_TRACE MPIPE_LOG(::mpipe::LogLevel::kTrace)
+#define MPIPE_LOG_DEBUG MPIPE_LOG(::mpipe::LogLevel::kDebug)
+#define MPIPE_LOG_INFO MPIPE_LOG(::mpipe::LogLevel::kInfo)
+#define MPIPE_LOG_WARN MPIPE_LOG(::mpipe::LogLevel::kWarn)
+#define MPIPE_LOG_ERROR MPIPE_LOG(::mpipe::LogLevel::kError)

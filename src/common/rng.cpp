@@ -1,0 +1,76 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  MPIPE_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  MPIPE_EXPECTS(n > 0);
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  MPIPE_EXPECTS(stddev >= 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  MPIPE_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MPIPE_EXPECTS(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  MPIPE_EXPECTS(total > 0.0, "categorical weights must not all be zero");
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  MPIPE_EXPECTS(n > 0);
+  MPIPE_EXPECTS(s >= 0.0);
+  if (s == 0.0) return static_cast<std::size_t>(uniform_index(n));
+  // Inverse-CDF over the finite harmonic weights. n is the expert count
+  // (tens), so the linear scan is cheap and exact.
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) total += 1.0 / std::pow(double(k), s);
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (r < acc) return k - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::fork() {
+  // splitmix-style mixing keeps children decorrelated from the parent.
+  std::uint64_t z = engine_();
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace mpipe

@@ -1,0 +1,45 @@
+#pragma once
+/// \file rng.h
+/// Deterministic random number generation. Every stochastic component owns
+/// its own Rng seeded explicitly, so whole-cluster runs replay bit-exactly.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mpipe {
+
+/// Thin wrapper over a 64-bit Mersenne twister with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal.
+  double normal();
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Samples an index from an (unnormalized) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed index in [0, n) with skew parameter s >= 0
+  /// (s == 0 degenerates to uniform). Used for skewed expert routing.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Derives an independent child generator (seed mixing), for spawning
+  /// per-device or per-layer streams from one master seed.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mpipe

@@ -1,0 +1,29 @@
+#pragma once
+/// \file table_printer.h
+/// Aligned console tables — benches print the paper's figure data as rows.
+
+#include <string>
+#include <vector>
+
+namespace mpipe {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment to stdout.
+  void print() const;
+
+  /// Renders to a string (for tests).
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpipe

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MPIPE_CHECK(!stopping_, "submit on stopped pool");
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  if (n <= grain || workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace mpipe

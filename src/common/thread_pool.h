@@ -1,0 +1,52 @@
+#pragma once
+/// \file thread_pool.h
+/// Fixed-size worker pool with a parallel_for primitive, used by the tensor
+/// library for GEMM and large elementwise kernels. Follows CP.4 ("think in
+/// terms of tasks"): callers submit range tasks, never touch threads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpipe {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal chunks across
+  /// the pool, blocking until all chunks complete. Grain controls the
+  /// minimum chunk size (small n runs inline).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1024);
+
+  /// Process-wide shared pool (sized to the machine).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mpipe

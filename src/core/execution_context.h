@@ -1,0 +1,64 @@
+#pragma once
+/// \file execution_context.h
+/// Per-step state of one MoE layer execution: the dispatch plan, all
+/// device-resident buffers (with memory accounting), and the backward
+/// stash. Owned by MoELayer across forward() → backward(); the schedule
+/// builder reads and wires it into OpGraph closures.
+
+#include <optional>
+#include <vector>
+
+#include "core/reuse_strategy.h"
+#include "mem/buffer_pool.h"
+#include "mem/device_allocator.h"
+#include "moe/dispatcher.h"
+#include "moe/gating.h"
+
+namespace mpipe::core {
+
+enum class ExecutionMode {
+  kFull,        ///< real math + timing (small configs, tests, examples)
+  kTimingOnly,  ///< schedule + memory accounting at paper scale
+};
+
+/// Per-device step state.
+struct DeviceStepState {
+  // ---- forward ----
+  Tensor x;                    ///< T_I (B, M); borrowed from the caller
+  mem::Allocation x_alloc;     ///< activation accounting for T_I
+  Tensor out;                  ///< T_O (B, M)
+  mem::Allocation out_alloc;
+  moe::GatingForward gating;   ///< routing decisions (full mode)
+  mem::Allocation gating_alloc;  ///< the (B, E) router probs — the "small
+                                 ///< tensors" the paper's theory ignores
+
+  // Reuse mode: ring pools shared across partitions (paper Fig 6).
+  std::optional<mem::BufferPool> tdi, tm, tdo;
+  // Non-reuse mode: one stashed tensor per partition.
+  std::vector<mem::TrackedTensor> tdi_parts, tm_parts, tdo_parts;
+
+  // ---- backward ----
+  Tensor dy;  ///< borrowed upstream gradient
+  std::optional<mem::BufferPool> d_ys, d_tdo, d_tm, d_tdi;
+  std::vector<mem::TrackedTensor> d_ys_parts, d_tdo_parts, d_tm_parts,
+      d_tdi_parts;
+  Tensor dx;                  ///< input gradient returned to the caller
+  mem::Allocation dx_alloc;
+  std::vector<float> dgate;   ///< per-token gate gradient accumulator
+};
+
+struct MoeStepContext {
+  ExecutionMode mode = ExecutionMode::kFull;
+  ReuseStrategy strategy = ReuseStrategy::kNone;
+  moe::DispatchPlan plan;
+  std::int64_t d_model = 0;
+  std::int64_t d_hidden = 0;
+  std::vector<DeviceStepState> dev;
+
+  int n() const { return plan.n_partitions; }
+  int num_devices() const { return plan.num_devices; }
+  bool reuse() const { return strategy != ReuseStrategy::kNone; }
+  bool functional() const { return mode == ExecutionMode::kFull; }
+};
+
+}  // namespace mpipe::core

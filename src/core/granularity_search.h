@@ -1,0 +1,51 @@
+#pragma once
+/// \file granularity_search.h
+/// Algorithm 1: adaptive pipeline-granularity configuration. Batch sizes in
+/// MoE training are dynamic, so the searcher amortises trials by (a) a hash
+/// cache of exact B values and (b) the RangeSet exploiting that the optimal
+/// n grows monotonically with B.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/range_set.h"
+
+namespace mpipe::core {
+
+struct SearchStats {
+  std::size_t cache_hits = 0;
+  std::size_t range_hits = 0;
+  std::size_t full_searches = 0;
+  std::size_t trials = 0;  ///< individual (B, n) measurements
+};
+
+class GranularitySearcher {
+ public:
+  /// `trial` measures (or simulates) one training step with the given batch
+  /// size and partition count, returning seconds; `candidates` is the n
+  /// search space (powers of two in the paper's evaluation).
+  using TrialFn = std::function<double(std::int64_t b, int n)>;
+
+  GranularitySearcher(std::vector<int> candidates, TrialFn trial);
+
+  /// Algorithm 1: returns the number of partitions for batch size B.
+  int configure(std::int64_t b);
+
+  const SearchStats& stats() const { return stats_; }
+  const RangeSet& ranges() const { return ranges_; }
+
+  /// Exhaustive argmin over candidates (searchBestGran) — exposed for the
+  /// Fig-12 ablation comparing adaptive vs oracle.
+  int search_best(std::int64_t b);
+
+ private:
+  std::vector<int> candidates_;
+  TrialFn trial_;
+  RangeSet ranges_;
+  std::unordered_map<std::int64_t, int> cache_;
+  SearchStats stats_;
+};
+
+}  // namespace mpipe::core

@@ -1,0 +1,453 @@
+#include "core/moe_layer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace mpipe::core {
+
+namespace {
+
+std::uint64_t model_state_bytes(const MoELayerOptions& options,
+                                int experts_per_device) {
+  // Parameters held by one device: replicated gating (E*M) plus the local
+  // experts (2*M*H + H + M each). Adam keeps 4 copies (params, grads,
+  // momentum, variance).
+  const std::uint64_t params =
+      static_cast<std::uint64_t>(options.num_experts) * options.d_model +
+      static_cast<std::uint64_t>(experts_per_device) *
+          (2ull * options.d_model * options.d_hidden + options.d_hidden +
+           options.d_model);
+  return 4ull * params * sizeof(float);
+}
+
+}  // namespace
+
+MoELayer::MoELayer(sim::Cluster& cluster, MoELayerOptions options)
+    : cluster_(&cluster),
+      options_(std::move(options)),
+      world_(comm::ProcessGroup::world(cluster)),
+      builder_(world_, staging_, options_.compute_scale,
+               options_.comm_scale) {
+  MPIPE_EXPECTS(options_.d_model > 0 && options_.d_hidden > 0,
+                "bad layer dimensions");
+  MPIPE_EXPECTS(options_.top_k == 1,
+                "this implementation (like the paper's evaluation) uses "
+                "top-1 gating");
+  const int P = cluster.num_devices();
+  MPIPE_EXPECTS(options_.num_experts % P == 0,
+                "num_experts must be a multiple of the device count");
+  MPIPE_EXPECTS(options_.num_partitions >= 0, "negative partition count");
+
+  const int epd = options_.num_experts / P;
+  for (int d = 0; d < P; ++d) {
+    allocators_.emplace_back(d, options_.device_capacity_bytes);
+    model_state_allocs_.push_back(allocators_.back().allocate(
+        mem::Category::kModelState, model_state_bytes(options_, epd)));
+  }
+
+  if (options_.mode == ExecutionMode::kFull) {
+    Rng master(options_.seed);
+    // The gating network is replicated data-parallel: every device starts
+    // from identical weights (same derived seed).
+    Rng gate_rng = master.fork();
+    for (int d = 0; d < P; ++d) {
+      Rng replica = gate_rng;  // copy: identical weights on every device
+      gates_.emplace_back(options_.d_model, options_.num_experts, replica);
+    }
+    experts_.resize(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      for (int k = 0; k < epd; ++k) {
+        Rng expert_rng = master.fork();
+        experts_[static_cast<std::size_t>(d)].emplace_back(
+            options_.d_model, options_.d_hidden, options_.activation,
+            expert_rng);
+      }
+    }
+  }
+
+  searcher_ = std::make_unique<GranularitySearcher>(
+      options_.candidate_partitions, [this](std::int64_t b, int n) {
+        const ReuseStrategy probe_strategy =
+            options_.memory_reuse && n > 1
+                ? configure_strategy(b, n)
+                : ReuseStrategy::kNone;
+        return probe_step_seconds(b, n, probe_strategy);
+      });
+}
+
+mem::DeviceAllocator& MoELayer::allocator(int device) {
+  MPIPE_EXPECTS(device >= 0 && device < num_devices(),
+                "device out of range");
+  return allocators_[static_cast<std::size_t>(device)];
+}
+
+int MoELayer::num_devices() const { return cluster_->num_devices(); }
+
+int MoELayer::experts_per_device() const {
+  return options_.num_experts / num_devices();
+}
+
+moe::GatingNetwork& MoELayer::gate(int device) {
+  MPIPE_EXPECTS(!gates_.empty(), "no parameters in timing-only mode");
+  return gates_[static_cast<std::size_t>(device)];
+}
+
+moe::ExpertFFN& MoELayer::expert(int device, int local_index) {
+  MPIPE_EXPECTS(!experts_.empty(), "no parameters in timing-only mode");
+  return experts_[static_cast<std::size_t>(device)]
+                 [static_cast<std::size_t>(local_index)];
+}
+
+LayerRefs MoELayer::refs() {
+  LayerRefs r;
+  if (options_.mode == ExecutionMode::kFull) {
+    r.gates = &gates_;
+    r.experts = &experts_;
+  }
+  return r;
+}
+
+int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
+  if (!options_.pipeline) return 1;
+  if (options_.num_partitions > 0) return options_.num_partitions;
+  return searcher_->configure(tokens_per_device);
+}
+
+ReuseStrategy MoELayer::configure_strategy(std::int64_t tokens_per_device,
+                                           int n) {
+  if (!options_.memory_reuse || n <= 1) return ReuseStrategy::kNone;
+  if (options_.strategy.has_value()) return *options_.strategy;
+  const std::int64_t micro = std::max<std::int64_t>(1, tokens_per_device / n);
+  StrategySelector selector(
+      StrategySelector::measure(*cluster_, micro, options_.d_model));
+  strategy_choice_ = selector.select(micro, options_.d_model,
+                                     options_.d_hidden);
+  return strategy_choice_.strategy;
+}
+
+double MoELayer::probe_step_seconds(std::int64_t tokens_per_device, int n,
+                                    ReuseStrategy strategy) {
+  MoeStepContext ctx;
+  ctx.mode = ExecutionMode::kTimingOnly;
+  ctx.strategy = strategy;
+  ctx.d_model = options_.d_model;
+  ctx.d_hidden = options_.d_hidden;
+  ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
+                                        experts_per_device(), n, probe_skew_);
+  ctx.dev.resize(static_cast<std::size_t>(num_devices()));
+  // Probes need no buffer accounting — only the schedule shape matters.
+  sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
+  sim::OpGraph bwd = builder_.build_backward(ctx, LayerRefs{});
+  const double t_fwd = cluster_->time_only(fwd).makespan;
+  const double t_bwd = cluster_->time_only(bwd).makespan;
+  return t_fwd + t_bwd;
+}
+
+void MoELayer::setup_forward_buffers(MoeStepContext& ctx) {
+  const bool mat = ctx.functional();
+  const std::int64_t M = ctx.d_model;
+  const std::int64_t H = ctx.d_hidden;
+  const std::int64_t B = ctx.plan.tokens_per_device;
+  const std::int64_t E = options_.num_experts;
+  const int depth = std::min(2, ctx.n());
+  // Ring slots are sized to the device's own worst partition, not the
+  // cluster-wide maximum — under routing skew only the hot device pays.
+  auto device_cap = [&](int d) {
+    std::int64_t cap = 1;
+    for (int p = 0; p < ctx.n(); ++p) {
+      cap = std::max(cap,
+                     ctx.plan.part(p).recv_rows[static_cast<std::size_t>(d)]);
+    }
+    return cap;
+  };
+
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const std::int64_t cap = device_cap(d);
+    auto& st = ctx.dev[static_cast<std::size_t>(d)];
+    auto& alloc = allocator(d);
+    // T_I is caller-owned but device-resident: account it.
+    st.x_alloc = alloc.allocate(
+        mem::Category::kActivation,
+        static_cast<std::uint64_t>(B) * M * sizeof(float));
+    auto out = alloc.alloc_tensor(Shape{B, M}, mem::Category::kActivation,
+                                  mat);
+    st.out = out.tensor;
+    st.out_alloc = std::move(out.allocation);
+    // Router probabilities — the "small tensors" of Fig 10's gap.
+    st.gating_alloc = alloc.allocate(
+        mem::Category::kActivation,
+        static_cast<std::uint64_t>(B) * E * sizeof(float));
+
+    if (ctx.reuse()) {
+      st.tdi.emplace(alloc, "tdi", Shape{cap, M}, depth,
+                     mem::Category::kActivation, mat);
+      st.tm.emplace(alloc, "tm", Shape{cap, H}, 1,
+                    mem::Category::kActivation, mat);
+      st.tdo.emplace(alloc, "tdo", Shape{cap, M}, depth,
+                     mem::Category::kActivation, mat);
+    } else {
+      for (int p = 0; p < ctx.n(); ++p) {
+        const std::int64_t rows = std::max<std::int64_t>(
+            1, ctx.plan.part(p).recv_rows[static_cast<std::size_t>(d)]);
+        st.tdi_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, M}, mem::Category::kActivation, mat));
+        st.tm_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, H}, mem::Category::kActivation, mat));
+        st.tdo_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, M}, mem::Category::kActivation, mat));
+      }
+    }
+  }
+}
+
+void MoELayer::setup_backward_buffers(MoeStepContext& ctx) {
+  const bool mat = ctx.functional();
+  const std::int64_t M = ctx.d_model;
+  const std::int64_t H = ctx.d_hidden;
+  const std::int64_t B = ctx.plan.tokens_per_device;
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, ctx.plan.part(0).chunk_rows);
+  const int depth = std::min(2, ctx.n());
+  auto device_cap = [&](int d) {
+    std::int64_t cap = 1;
+    for (int p = 0; p < ctx.n(); ++p) {
+      cap = std::max(cap,
+                     ctx.plan.part(p).recv_rows[static_cast<std::size_t>(d)]);
+    }
+    return cap;
+  };
+
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const std::int64_t cap = device_cap(d);
+    auto& st = ctx.dev[static_cast<std::size_t>(d)];
+    auto& alloc = allocator(d);
+    auto dx = alloc.alloc_tensor(Shape{B, M}, mem::Category::kTempBuffer,
+                                 mat);
+    st.dx = dx.tensor;
+    st.dx_alloc = std::move(dx.allocation);
+    st.dgate.assign(static_cast<std::size_t>(B), 0.0f);
+
+    if (options_.sequential_temp_accounting && !ctx.reuse() &&
+        ctx.n() == 1) {
+      // FastMoE-style serial execution frees each gradient tensor as soon
+      // as the next one is produced; only two adjacent tensors coexist
+      // (Eq 3: BM + BH). Register the peak, keep the real tensors
+      // untracked.
+      {
+        auto walk = alloc.allocate(
+            mem::Category::kTempBuffer,
+            static_cast<std::uint64_t>(B) * (M + H) * sizeof(float));
+      }
+      const std::int64_t rows =
+          std::max<std::int64_t>(1, ctx.plan.part(0).recv_rows
+                                        [static_cast<std::size_t>(d)]);
+      auto untracked = [&](Shape shape, bool materialize) {
+        mem::TrackedTensor t;
+        if (materialize) t.tensor = Tensor(shape);
+        return t;
+      };
+      st.d_ys_parts.push_back(untracked(Shape{chunk, M}, mat));
+      st.d_tdo_parts.push_back(untracked(Shape{rows, M}, mat));
+      st.d_tm_parts.push_back(untracked(Shape{rows, H}, false));
+      st.d_tdi_parts.push_back(untracked(Shape{rows, M}, mat));
+      continue;
+    }
+
+    if (ctx.reuse()) {
+      // The gate-scaled gradient staging is written for every partition
+      // up-front (before the reversed pipeline drains it), so it keeps one
+      // slot per partition; with the dx buffer this reproduces the paper's
+      // post-saving temp footprint 2BM + 4BM/n + BH/n exactly.
+      st.d_ys.emplace(alloc, "d_ys", Shape{chunk, M}, ctx.n(),
+                      mem::Category::kTempBuffer, mat);
+      st.d_tdo.emplace(alloc, "d_tdo", Shape{cap, M}, depth,
+                       mem::Category::kTempBuffer, mat);
+      // The d_T_M gradients live inside the fused expert-backward kernel;
+      // the ring is accounted (Eq 5) but never addressed.
+      st.d_tm.emplace(alloc, "d_tm", Shape{cap, H}, 1,
+                      mem::Category::kTempBuffer, /*materialize=*/false);
+      st.d_tdi.emplace(alloc, "d_tdi", Shape{cap, M}, depth,
+                       mem::Category::kTempBuffer, mat);
+    } else {
+      for (int p = 0; p < ctx.n(); ++p) {
+        const std::int64_t rows = std::max<std::int64_t>(
+            1, ctx.plan.part(p).recv_rows[static_cast<std::size_t>(d)]);
+        const std::int64_t chunk_rows =
+            std::max<std::int64_t>(1, ctx.plan.part(p).chunk_rows);
+        st.d_ys_parts.push_back(alloc.alloc_tensor(
+            Shape{chunk_rows, M}, mem::Category::kTempBuffer, mat));
+        st.d_tdo_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, M}, mem::Category::kTempBuffer, mat));
+        st.d_tm_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, H}, mem::Category::kTempBuffer,
+            /*materialize=*/false));
+        st.d_tdi_parts.push_back(alloc.alloc_tensor(
+            Shape{rows, M}, mem::Category::kTempBuffer, mat));
+      }
+    }
+  }
+}
+
+std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
+  MPIPE_EXPECTS(options_.mode == ExecutionMode::kFull,
+                "forward() requires full execution mode");
+  MPIPE_EXPECTS(static_cast<int>(inputs.size()) == num_devices(),
+                "need one input batch per device");
+  const std::int64_t B = inputs[0].dim(0);
+  for (const Tensor& t : inputs) {
+    MPIPE_EXPECTS(t.shape().rank() == 2 && t.dim(0) == B &&
+                      t.dim(1) == options_.d_model,
+                  "inputs must all be (B, d_model)");
+  }
+  for (auto& a : allocators_) a.tracker().reset_peaks();
+  staging_.clear();
+
+  const int n = configure_partitions(B);
+  const ReuseStrategy strategy = configure_strategy(B, n);
+
+  ctx_.emplace();
+  ctx_->mode = ExecutionMode::kFull;
+  ctx_->strategy = strategy;
+  ctx_->d_model = options_.d_model;
+  ctx_->d_hidden = options_.d_hidden;
+  ctx_->dev.resize(static_cast<std::size_t>(num_devices()));
+
+  // Gating runs first (the plan depends on it); the graph still carries a
+  // timed router op per device.
+  std::vector<std::vector<std::int64_t>> expert_of;
+  for (int d = 0; d < num_devices(); ++d) {
+    auto& st = ctx_->dev[static_cast<std::size_t>(d)];
+    st.x = inputs[static_cast<std::size_t>(d)];
+    st.gating = gates_[static_cast<std::size_t>(d)].forward(st.x);
+    expert_of.push_back(st.gating.expert_of);
+  }
+  ctx_->plan = moe::Dispatcher::build(expert_of, num_devices(),
+                                      experts_per_device(), n);
+  setup_forward_buffers(*ctx_);
+
+  sim::OpGraph graph = builder_.build_forward(*ctx_, refs());
+  report_ = StepReport{};
+  report_.n_partitions = n;
+  report_.strategy = strategy;
+  report_.forward_timing = cluster_->run(graph);
+  report_.forward_seconds = report_.forward_timing.makespan;
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<std::size_t>(num_devices()));
+  for (int d = 0; d < num_devices(); ++d) {
+    outputs.push_back(ctx_->dev[static_cast<std::size_t>(d)].out);
+  }
+  return outputs;
+}
+
+std::vector<Tensor> MoELayer::backward(
+    const std::vector<Tensor>& grad_outputs) {
+  MPIPE_EXPECTS(ctx_.has_value(), "backward() without a prior forward()");
+  MPIPE_EXPECTS(static_cast<int>(grad_outputs.size()) == num_devices(),
+                "need one gradient per device");
+  for (int d = 0; d < num_devices(); ++d) {
+    auto& st = ctx_->dev[static_cast<std::size_t>(d)];
+    MPIPE_EXPECTS(grad_outputs[static_cast<std::size_t>(d)].shape() ==
+                      st.out.shape(),
+                  "gradient shape mismatch");
+    st.dy = grad_outputs[static_cast<std::size_t>(d)];
+  }
+  setup_backward_buffers(*ctx_);
+
+  sim::OpGraph graph = builder_.build_backward(*ctx_, refs());
+  report_.backward_timing = cluster_->run(graph);
+  report_.backward_seconds = report_.backward_timing.makespan;
+  report_.mean_gpu_utilization =
+      combined_utilization(report_.forward_timing, report_.backward_timing);
+
+  std::vector<MemorySnapshot> snaps;
+  for (const auto& a : allocators_) snaps.push_back(snapshot_peaks(a));
+  report_.memory = max_over_devices(snaps);
+
+  std::vector<Tensor> grads;
+  grads.reserve(static_cast<std::size_t>(num_devices()));
+  for (int d = 0; d < num_devices(); ++d) {
+    grads.push_back(ctx_->dev[static_cast<std::size_t>(d)].dx);
+  }
+  ctx_.reset();  // releases activations and temp buffers
+  staging_.clear();
+  return grads;
+}
+
+StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
+                                 double skew) {
+  MPIPE_EXPECTS(tokens_per_device > 0, "empty batch");
+  for (auto& a : allocators_) a.tracker().reset_peaks();
+
+  // The online search measures real steps, which see the same routing
+  // skew as the step being configured.
+  probe_skew_ = skew;
+  const int n = configure_partitions(tokens_per_device);
+  const ReuseStrategy strategy =
+      configure_strategy(tokens_per_device, n);
+
+  MoeStepContext ctx;
+  ctx.mode = options_.mode == ExecutionMode::kFull
+                 ? ExecutionMode::kTimingOnly  // timing probe on a full layer
+                 : options_.mode;
+  ctx.strategy = strategy;
+  ctx.d_model = options_.d_model;
+  ctx.d_hidden = options_.d_hidden;
+  ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
+                                        experts_per_device(), n, skew);
+  ctx.dev.resize(static_cast<std::size_t>(num_devices()));
+  setup_forward_buffers(ctx);
+
+  StepReport report;
+  report.n_partitions = n;
+  report.strategy = strategy;
+  sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
+  report.forward_timing = cluster_->time_only(fwd);
+  report.forward_seconds = report.forward_timing.makespan;
+
+  setup_backward_buffers(ctx);
+  sim::OpGraph bwd = builder_.build_backward(ctx, LayerRefs{});
+  report.backward_timing = cluster_->time_only(bwd);
+  report.backward_seconds = report.backward_timing.makespan;
+  report.mean_gpu_utilization =
+      combined_utilization(report.forward_timing, report.backward_timing);
+
+  std::vector<MemorySnapshot> snaps;
+  for (const auto& a : allocators_) snaps.push_back(snapshot_peaks(a));
+  report.memory = max_over_devices(snaps);
+  report_ = report;
+  return report;
+}
+
+std::vector<Tensor*> MoELayer::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& gate : gates_) out.push_back(&gate.weight());
+  for (auto& device_experts : experts_) {
+    for (auto& expert : device_experts) {
+      for (Tensor* p : expert.parameters()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> MoELayer::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& gate : gates_) out.push_back(&gate.weight_grad());
+  for (auto& device_experts : experts_) {
+    for (auto& expert : device_experts) {
+      for (Tensor* g : expert.gradients()) out.push_back(g);
+    }
+  }
+  return out;
+}
+
+void MoELayer::zero_grad() {
+  for (auto& gate : gates_) gate.zero_grad();
+  for (auto& device_experts : experts_) {
+    for (auto& expert : device_experts) expert.zero_grad();
+  }
+}
+
+}  // namespace mpipe::core

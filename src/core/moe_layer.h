@@ -1,0 +1,134 @@
+#pragma once
+/// \file moe_layer.h
+/// The MPipeMoE public API — the C++ analogue of the paper's
+/// `pmoe.MoELayer(d_model=…, d_hidden=…, top_k=1, num_experts=…,
+/// pipeline=True, memory_reuse=True)`. One MoELayer object models the MoE
+/// FFN of a transformer block running under expert parallelism on a
+/// simulated cluster: forward()/backward() do real tensor math with a
+/// simulated timeline, step_timing() replays the schedule at paper scale.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "core/granularity_search.h"
+#include "core/pipeline_executor.h"
+#include "core/pipeline_schedule.h"
+#include "core/strategy_selector.h"
+#include "mem/host_staging.h"
+#include "sim/cluster.h"
+
+namespace mpipe::core {
+
+struct MoELayerOptions {
+  std::int64_t d_model = 1024;
+  std::int64_t d_hidden = 4096;
+  int num_experts = 64;  ///< must be a multiple of the device count
+  int top_k = 1;         ///< the paper fixes k = 1
+  moe::ActivationKind activation = moe::ActivationKind::kReLU;
+
+  /// Enable micro-batch pipelining; false forces a single partition.
+  bool pipeline = true;
+  /// Fixed partition count; 0 enables the Algorithm-1 adaptive search.
+  int num_partitions = 0;
+  /// Candidate search space for the adaptive search.
+  std::vector<int> candidate_partitions = {1, 2, 4, 8, 16};
+
+  /// Enable the ring-buffer memory reuse of §III-D.
+  bool memory_reuse = true;
+  /// Fixed restore strategy; unset enables the Eq-10 adaptive selector.
+  std::optional<ReuseStrategy> strategy{};
+
+  /// Per-device memory capacity in bytes (0 = unlimited).
+  std::uint64_t device_capacity_bytes = 0;
+
+  /// Effective compute-throughput multiplier (< 1 models the baselines'
+  /// CUDA-core kernels; PipeMoE/MPipeMoE use Tensor Cores at 1.0).
+  double compute_scale = 1.0;
+
+  /// Effective collective-bandwidth multiplier (< 1 models AllToAll
+  /// implemented as grouped per-pair send/recv, as in FastMoE).
+  double comm_scale = 1.0;
+
+  /// Eq-3 temp-buffer accounting for the sequential (n = 1, no-pipeline)
+  /// execution: gradient scratch is freed as soon as it is consumed, so the
+  /// peak is BM + BH instead of the pipeline's per-partition residency.
+  /// Used by the FastMoE baseline.
+  bool sequential_temp_accounting = false;
+
+  ExecutionMode mode = ExecutionMode::kFull;
+  std::uint64_t seed = 42;
+};
+
+class MoELayer {
+ public:
+  MoELayer(sim::Cluster& cluster, MoELayerOptions options);
+
+  // ---- full-mode training step -------------------------------------------
+  /// Runs the distributed forward pass on one (B, M) token batch per
+  /// device. Returns the per-device (B, M) outputs.
+  std::vector<Tensor> forward(const std::vector<Tensor>& inputs);
+
+  /// Runs the backward pass from per-device output gradients; returns the
+  /// per-device input gradients. Must follow a forward() call.
+  std::vector<Tensor> backward(const std::vector<Tensor>& grad_outputs);
+
+  // ---- timing-only step at paper scale -------------------------------------
+  /// Simulates one training step (fwd+bwd) with `tokens_per_device` tokens
+  /// and synthetic balanced routing (optionally skewed toward device 0).
+  StepReport step_timing(std::int64_t tokens_per_device, double skew = 0.0);
+
+  // ---- introspection --------------------------------------------------------
+  const StepReport& last_report() const { return report_; }
+  GranularitySearcher& searcher() { return *searcher_; }
+  const StrategyChoice& last_strategy_choice() const {
+    return strategy_choice_;
+  }
+  mem::DeviceAllocator& allocator(int device);
+  mem::HostStaging& staging() { return staging_; }
+  sim::Cluster& cluster() { return *cluster_; }
+  int num_devices() const;
+  int experts_per_device() const;
+  const MoELayerOptions& options() const { return options_; }
+
+  // ---- parameters (full mode) ----------------------------------------------
+  /// All trainable tensors across devices (gating + experts), paired with
+  /// gradients() index-for-index — what runtime::Adam consumes.
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+  void zero_grad();
+  moe::GatingNetwork& gate(int device);
+  moe::ExpertFFN& expert(int device, int local_index);
+
+ private:
+  int configure_partitions(std::int64_t tokens_per_device);
+  ReuseStrategy configure_strategy(std::int64_t tokens_per_device, int n);
+  /// Timing-only probe used by the granularity search trial function.
+  double probe_step_seconds(std::int64_t tokens_per_device, int n,
+                            ReuseStrategy strategy);
+  void setup_forward_buffers(MoeStepContext& ctx);
+  void setup_backward_buffers(MoeStepContext& ctx);
+  LayerRefs refs();
+
+  sim::Cluster* cluster_;
+  MoELayerOptions options_;
+  comm::ProcessGroup world_;
+  std::deque<mem::DeviceAllocator> allocators_;
+  mem::HostStaging staging_;
+  PipelineScheduleBuilder builder_;
+
+  // Parameters (full mode only; timing-only keeps accounting records).
+  std::vector<moe::GatingNetwork> gates_;
+  std::vector<std::vector<moe::ExpertFFN>> experts_;
+  std::vector<mem::Allocation> model_state_allocs_;
+
+  std::unique_ptr<GranularitySearcher> searcher_;
+  double probe_skew_ = 0.0;
+  StrategyChoice strategy_choice_;
+  std::optional<MoeStepContext> ctx_;
+  StepReport report_;
+};
+
+}  // namespace mpipe::core

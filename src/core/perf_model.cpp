@@ -1,0 +1,99 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpipe::core {
+
+std::string to_string(ReuseStrategy s) {
+  switch (s) {
+    case ReuseStrategy::kNone: return "none";
+    case ReuseStrategy::kS1: return "S1";
+    case ReuseStrategy::kS2: return "S2";
+    case ReuseStrategy::kS3: return "S3";
+    case ReuseStrategy::kS4: return "S4";
+  }
+  return "?";
+}
+
+StreamWorkload workload_of(ReuseStrategy s, int h_over_m) {
+  MPIPE_EXPECTS(h_over_m >= 1, "H must be >= M for the unit convention");
+  const int tm = h_over_m;  // one T_M transfer in T_DI-sized units
+  switch (s) {
+    case ReuseStrategy::kNone:
+      // fw: 2 GeMMs + 2 AllToAlls. bw: 4 GeMMs + 2 AllToAlls.
+      return {{2, 2, 0}, {4, 2, 0}};
+    case ReuseStrategy::kS1:
+      // offload T_DI (1) + T_M (tm) each way.
+      return {{2, 2, 1 + tm}, {4, 2, 1 + tm}};
+    case ReuseStrategy::kS2:
+      // T_DI re-communicated in bw (+1 comm), T_M offloaded (tm each way).
+      return {{2, 2, tm}, {4, 3, tm}};
+    case ReuseStrategy::kS3:
+      // T_DI offloaded (1 each way), T_M recomputed in bw (+1 GeMM).
+      return {{2, 2, 1}, {5, 2, 1}};
+    case ReuseStrategy::kS4:
+      // T_DI re-communicated (+1 comm), T_M recomputed (+1 GeMM), no mem.
+      return {{2, 2, 0}, {5, 3, 0}};
+  }
+  MPIPE_UNREACHABLE("unknown strategy");
+}
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  MPIPE_EXPECTS(params.w_comp > 0 && params.w_comm > 0 && params.w_mem > 0,
+                "speeds must be positive");
+  MPIPE_EXPECTS(params.mu_comp > 0 && params.mu_all > 0 && params.sigma > 0 &&
+                    params.eta_all > 0,
+                "interference factors must be positive");
+}
+
+InterferenceFactors PerfModel::factors(ReuseStrategy s) const {
+  InterferenceFactors f;
+  f.sigma = params_.sigma;
+  if (uses_offload(s)) {
+    // The mem stream is live, so comm and memcpy see the all-streams case.
+    f.mu = params_.mu_all;
+    f.eta = params_.eta_all;
+  } else {
+    // Table II: none and S4 leave the mem stream idle.
+    f.mu = params_.mu_comp;
+    f.eta = 1.0;
+  }
+  return f;
+}
+
+double PerfModel::phase_cost(const std::array<int, 3>& q, ReuseStrategy s,
+                             std::int64_t b, std::int64_t m,
+                             std::int64_t h) const {
+  MPIPE_EXPECTS(b > 0 && m > 0 && h > 0, "bad dimensions");
+  const InterferenceFactors f = factors(s);
+  // Unit work per operation (Equations 7–9): one GeMM ≈ 2bMH FLOPs, one
+  // AllToAll ≈ bM elements, one memcpy unit ≈ bM elements (4 bytes each).
+  const double v_comp = 2.0 * static_cast<double>(b) * m * h;
+  const double v_comm = 4.0 * static_cast<double>(b) * m;
+  const double v_mem = 4.0 * static_cast<double>(b) * m;
+  const double t_comp = q[0] * v_comp / (f.sigma * params_.w_comp);
+  const double t_comm = q[1] * v_comm / (f.mu * params_.w_comm);
+  const double t_mem = q[2] * v_mem / (f.eta * params_.w_mem);
+  return std::max({t_comp, t_comm, t_mem});
+}
+
+double PerfModel::forward_cost(ReuseStrategy s, std::int64_t b,
+                               std::int64_t m, std::int64_t h) const {
+  const auto w = workload_of(s, static_cast<int>((h + m - 1) / m));
+  return phase_cost(w.forward, s, b, m, h);
+}
+
+double PerfModel::backward_cost(ReuseStrategy s, std::int64_t b,
+                                std::int64_t m, std::int64_t h) const {
+  const auto w = workload_of(s, static_cast<int>((h + m - 1) / m));
+  return phase_cost(w.backward, s, b, m, h);
+}
+
+double PerfModel::step_cost(ReuseStrategy s, std::int64_t b, std::int64_t m,
+                            std::int64_t h) const {
+  return forward_cost(s, b, m, h) + backward_cost(s, b, m, h);
+}
+
+}  // namespace mpipe::core

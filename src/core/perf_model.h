@@ -1,0 +1,73 @@
+#pragma once
+/// \file perf_model.h
+/// The runtime performance model of §III-E (Equation 10, Table II). For a
+/// micro-batch of b tokens, the end-to-end pipeline time per partition is
+/// bounded by the slowest of the three streams:
+///   C = max( q1·v_comp/(σ·W_comp), q2·v_comm/(µ·W_comm),
+///            q3·v_mem/(η·W_mem) )
+/// with Q = [q1,q2,q3] the per-strategy operation counts. The strategy with
+/// the lowest predicted fw+bw cost wins.
+
+#include <array>
+#include <vector>
+
+#include "core/reuse_strategy.h"
+
+namespace mpipe::core {
+
+/// Operation counts per stream: [GeMMs, AllToAlls, memcpy units]. One
+/// memcpy unit is a T_DI-sized transfer (b·M bytes); a T_M transfer counts
+/// as H/M units (4 for the standard H = 4M).
+struct StreamWorkload {
+  std::array<int, 3> forward{};
+  std::array<int, 3> backward{};
+};
+
+/// Table II, parameterised by the H/M ratio for the memcpy units.
+StreamWorkload workload_of(ReuseStrategy s, int h_over_m = 4);
+
+/// Which µ/η the strategy sees (Table II columns µ and η): strategies that
+/// keep the mem stream idle suffer only the compute-overlap slowdown.
+struct InterferenceFactors {
+  double mu = 1.0;     ///< comm slowdown
+  double sigma = 1.0;  ///< compute slowdown
+  double eta = 1.0;    ///< memcpy slowdown
+};
+
+struct PerfModelParams {
+  double w_comp = 1.0;  ///< effective FLOP/s of one device
+  double w_comm = 1.0;  ///< AllToAll bytes/s per device
+  double w_mem = 1.0;   ///< PCIe bytes/s per device
+  double mu_comp = 1.0; ///< comm slowdown vs compute only
+  double mu_all = 1.0;  ///< comm slowdown vs compute + memcpy
+  double sigma = 1.0;   ///< compute slowdown (≈1 on A100, §II-C)
+  double eta_all = 1.0; ///< memcpy slowdown vs compute + comm
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params);
+
+  /// Interference factors a strategy experiences (Table II µ/η columns).
+  InterferenceFactors factors(ReuseStrategy s) const;
+
+  /// Predicted seconds for one partition of b tokens in the forward pass.
+  double forward_cost(ReuseStrategy s, std::int64_t b, std::int64_t m,
+                      std::int64_t h) const;
+  /// Same for backward.
+  double backward_cost(ReuseStrategy s, std::int64_t b, std::int64_t m,
+                       std::int64_t h) const;
+  /// fw + bw.
+  double step_cost(ReuseStrategy s, std::int64_t b, std::int64_t m,
+                   std::int64_t h) const;
+
+  const PerfModelParams& params() const { return params_; }
+
+ private:
+  double phase_cost(const std::array<int, 3>& q, ReuseStrategy s,
+                    std::int64_t b, std::int64_t m, std::int64_t h) const;
+
+  PerfModelParams params_;
+};
+
+}  // namespace mpipe::core

@@ -1,0 +1,43 @@
+#include "core/pipeline_executor.h"
+
+#include <algorithm>
+
+namespace mpipe::core {
+
+MemorySnapshot snapshot_peaks(const mem::DeviceAllocator& allocator) {
+  const auto& t = allocator.tracker();
+  MemorySnapshot s;
+  s.model_states = t.peak(mem::Category::kModelState);
+  s.activations = t.peak(mem::Category::kActivation);
+  s.temp_buffers = t.peak(mem::Category::kTempBuffer);
+  s.comm = t.peak(mem::Category::kComm);
+  s.total_peak = t.peak_total();
+  return s;
+}
+
+MemorySnapshot max_over_devices(const std::vector<MemorySnapshot>& snaps) {
+  MemorySnapshot out;
+  for (const MemorySnapshot& s : snaps) {
+    out.model_states = std::max(out.model_states, s.model_states);
+    out.activations = std::max(out.activations, s.activations);
+    out.temp_buffers = std::max(out.temp_buffers, s.temp_buffers);
+    out.comm = std::max(out.comm, s.comm);
+    out.total_peak = std::max(out.total_peak, s.total_peak);
+  }
+  return out;
+}
+
+double combined_utilization(const sim::TimingResult& fwd,
+                            const sim::TimingResult& bwd) {
+  const double total_time = fwd.makespan + bwd.makespan;
+  if (total_time <= 0.0 || fwd.weighted_compute.empty()) return 0.0;
+  double useful = 0.0;
+  for (std::size_t d = 0; d < fwd.weighted_compute.size(); ++d) {
+    useful += fwd.weighted_compute[d];
+    if (d < bwd.weighted_compute.size()) useful += bwd.weighted_compute[d];
+  }
+  useful /= static_cast<double>(fwd.weighted_compute.size());
+  return useful / total_time;
+}
+
+}  // namespace mpipe::core

@@ -1,0 +1,52 @@
+#pragma once
+/// \file pipeline_executor.h
+/// Step execution reports: simulated times, GPU utilisation and the memory
+/// footprint snapshot every bench reads. The heavy lifting (functional +
+/// timed execution) lives in sim::Cluster; this layer aggregates.
+
+#include <cstdint>
+
+#include "core/reuse_strategy.h"
+#include "mem/device_allocator.h"
+#include "sim/timing_engine.h"
+
+namespace mpipe::core {
+
+/// Peak bytes by category (maximum over devices unless stated otherwise).
+struct MemorySnapshot {
+  std::uint64_t model_states = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t temp_buffers = 0;
+  std::uint64_t comm = 0;
+  std::uint64_t total_peak = 0;  ///< peak of the concurrent total
+
+  std::uint64_t breakdown_sum() const {
+    return model_states + activations + temp_buffers + comm;
+  }
+};
+
+/// Reads the per-category peaks of one device allocator.
+MemorySnapshot snapshot_peaks(const mem::DeviceAllocator& allocator);
+
+/// Element-wise max over devices — the footprint of the busiest device,
+/// which is what "peak memory" means on a real cluster.
+MemorySnapshot max_over_devices(const std::vector<MemorySnapshot>& snaps);
+
+struct StepReport {
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  int n_partitions = 1;
+  ReuseStrategy strategy = ReuseStrategy::kNone;
+  double mean_gpu_utilization = 0.0;  ///< efficiency-weighted, fwd+bwd
+  MemorySnapshot memory;
+  sim::TimingResult forward_timing;
+  sim::TimingResult backward_timing;
+
+  double step_seconds() const { return forward_seconds + backward_seconds; }
+};
+
+/// Combines fwd+bwd utilisation: total useful compute over total makespan.
+double combined_utilization(const sim::TimingResult& fwd,
+                            const sim::TimingResult& bwd);
+
+}  // namespace mpipe::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file pipeline_schedule.h
+/// Builds the OpGraphs for MPipeMoE's micro-batch pipeline (paper Fig 4b,
+/// Fig 7). Forward: per partition p, dispatch AllToAll S_p, expert GEMMs
+/// C1_p/C2_p, combine AllToAll R_p, with S and R alternating on the comm
+/// stream and offload copies (strategies S1–S3) on the mem stream.
+/// Backward mirrors it and inserts the strategy's restore operations.
+/// Ring-buffer reuse turns prior readers of a slot into dependencies of
+/// the next writer (WAR edges), which the tests assert.
+
+#include "comm/process_group.h"
+#include "core/execution_context.h"
+#include "mem/host_staging.h"
+#include "moe/expert.h"
+#include "moe/gating.h"
+#include "sim/op_graph.h"
+
+namespace mpipe::core {
+
+/// Borrowed views of the layer's parameters; null in timing-only mode.
+struct LayerRefs {
+  std::vector<moe::GatingNetwork>* gates = nullptr;             ///< [device]
+  std::vector<std::vector<moe::ExpertFFN>>* experts = nullptr;  ///< [dev][k]
+};
+
+class PipelineScheduleBuilder {
+ public:
+  /// `compute_scale` multiplies the effective compute throughput: the
+  /// PipeMoE/MPipeMoE kernels use Tensor Cores (scale 1.0); the FastMoE /
+  /// FasterMoE baselines run the paper's CUDA-core kernels (< 1.0).
+  /// `comm_scale` likewise multiplies collective bandwidth (< 1 models a
+  /// grouped send/recv AllToAll instead of a fused one).
+  PipelineScheduleBuilder(const comm::ProcessGroup& group,
+                          mem::HostStaging& staging,
+                          double compute_scale = 1.0,
+                          double comm_scale = 1.0);
+
+  /// Emits gating + the n-partition S/C1/C2/R pipeline + gate scaling.
+  sim::OpGraph build_forward(MoeStepContext& ctx, const LayerRefs& refs) const;
+
+  /// Emits grad scaling + the reversed pipeline with restore ops + gating
+  /// backward + the gating-gradient AllReduce.
+  sim::OpGraph build_backward(MoeStepContext& ctx,
+                              const LayerRefs& refs) const;
+
+ private:
+  /// Rescales the duration of the op `id` by 1/comm_scale.
+  void apply_comm_scale(sim::OpGraph& g, int id) const;
+
+  const comm::ProcessGroup& group_;
+  mem::HostStaging& staging_;
+  double compute_scale_;
+  double comm_scale_;
+};
+
+}  // namespace mpipe::core

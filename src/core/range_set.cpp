@@ -1,0 +1,66 @@
+#include "core/range_set.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpipe::core {
+
+std::optional<int> RangeSet::find(std::int64_t b) const {
+  auto it = by_lower_.upper_bound(b);
+  if (it == by_lower_.begin()) return std::nullopt;
+  --it;
+  if (it->second.contains(b)) return it->second.n;
+  return std::nullopt;
+}
+
+std::optional<BatchRange> RangeSet::range_of(int n) const {
+  for (const auto& [lower, range] : by_lower_) {
+    if (range.n == n) return range;
+  }
+  return std::nullopt;
+}
+
+void RangeSet::record(std::int64_t b, int n) {
+  MPIPE_EXPECTS(b >= 0, "negative batch size");
+  // Already covered by the right range?
+  if (auto existing = find(b)) {
+    MPIPE_CHECK(*existing == n,
+                "batch " + std::to_string(b) + " already mapped to n=" +
+                    std::to_string(*existing) + ", refusing to remap to n=" +
+                    std::to_string(n));
+    return;
+  }
+  // Extend an existing range for this n (Algorithm 1 lines 13-14)...
+  for (auto it = by_lower_.begin(); it != by_lower_.end(); ++it) {
+    if (it->second.n != n) continue;
+    BatchRange merged = it->second;
+    merged.lower = std::min(merged.lower, b);
+    merged.upper = std::max(merged.upper, b);
+    // The widened range must stay disjoint from its neighbours, otherwise
+    // the monotonicity hypothesis (n grows with B) has been violated.
+    for (const auto& [lower, other] : by_lower_) {
+      if (other.n == n) continue;
+      MPIPE_CHECK(merged.upper < other.lower || other.upper < merged.lower,
+                  "range extension for n=" + std::to_string(n) +
+                      " overlaps n=" + std::to_string(other.n) +
+                      " — monotonicity hypothesis violated");
+    }
+    by_lower_.erase(it);
+    by_lower_.emplace(merged.lower, merged);
+    return;
+  }
+  // ...or start a fresh point range (lines 10-12).
+  by_lower_.emplace(b, BatchRange{b, b, n});
+}
+
+std::string RangeSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [lower, range] : by_lower_) {
+    os << "[" << range.lower << ", " << range.upper << "] -> n="
+       << range.n << "  ";
+  }
+  return os.str();
+}
+
+}  // namespace mpipe::core

@@ -1,0 +1,44 @@
+#pragma once
+/// \file range_set.h
+/// The set S of Algorithm 1: disjoint batch-size ranges R_n, each mapped to
+/// an optimal partition count n. Backed by an ordered map (the paper's
+/// binary search tree); find and insert are O(log |S|).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mpipe::core {
+
+struct BatchRange {
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;  ///< inclusive
+  int n = 1;
+
+  bool contains(std::int64_t b) const { return lower <= b && b <= upper; }
+};
+
+class RangeSet {
+ public:
+  /// Returns the n whose range contains B, if any (Algorithm 1 line 6).
+  std::optional<int> find(std::int64_t b) const;
+
+  /// Returns the full range record for n, if present.
+  std::optional<BatchRange> range_of(int n) const;
+
+  /// Records that B maps to n: creates range [B, B] for a new n
+  /// (lines 10–12) or extends n's existing range to include B
+  /// (lines 13–14). Throws if the extension would overlap a different n's
+  /// range — that would falsify the monotonicity hypothesis.
+  void record(std::int64_t b, int n);
+
+  std::size_t size() const { return by_lower_.size(); }
+  std::string to_string() const;
+
+ private:
+  // Keyed by range lower bound; ranges kept disjoint and sorted.
+  std::map<std::int64_t, BatchRange> by_lower_;
+};
+
+}  // namespace mpipe::core

@@ -1,0 +1,170 @@
+#include "core/restore.h"
+
+#include "common/check.h"
+
+namespace mpipe::core {
+
+namespace {
+Tensor& pick(MoeStepContext& ctx, std::optional<mem::BufferPool>& pool,
+             std::vector<mem::TrackedTensor>& parts, int p) {
+  if (ctx.reuse()) {
+    MPIPE_EXPECTS(pool.has_value(), "ring pool missing");
+    return pool->slot(p);
+  }
+  MPIPE_EXPECTS(p >= 0 && p < static_cast<int>(parts.size()),
+                "partition stash missing");
+  return parts[static_cast<std::size_t>(p)].tensor;
+}
+}  // namespace
+
+Tensor& tdi_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.tdi, st.tdi_parts, p);
+}
+Tensor& tm_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.tm, st.tm_parts, p);
+}
+Tensor& tdo_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.tdo, st.tdo_parts, p);
+}
+Tensor& d_ys_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.d_ys, st.d_ys_parts, p);
+}
+Tensor& d_tdo_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.d_tdo, st.d_tdo_parts, p);
+}
+Tensor& d_tdi_buffer(MoeStepContext& ctx, int device, int p) {
+  auto& st = ctx.dev[static_cast<std::size_t>(device)];
+  return pick(ctx, st.d_tdi, st.d_tdi_parts, p);
+}
+
+std::vector<comm::RowSegment> dispatch_segments(MoeStepContext& ctx, int p) {
+  MPIPE_EXPECTS(ctx.functional(), "segments need materialized buffers");
+  const auto& part = ctx.plan.part(p);
+  std::vector<comm::RowSegment> segments;
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const auto& routing = part.src[static_cast<std::size_t>(d)];
+    auto& st = ctx.dev[static_cast<std::size_t>(d)];
+    // Track how far into each destination block we have written.
+    std::vector<std::int64_t> written(
+        static_cast<std::size_t>(ctx.num_devices()), 0);
+    for (std::size_t i = 0; i < routing.order.size(); ++i) {
+      const std::int64_t t = routing.order[i];
+      const std::int64_t e =
+          st.gating.expert_of[static_cast<std::size_t>(t)];
+      const int dst = static_cast<int>(e / ctx.plan.experts_per_device);
+      comm::RowSegment seg;
+      seg.src_device = d;
+      seg.src = &st.x;
+      seg.src_row = t;
+      seg.dst_device = dst;
+      seg.dst = &tdi_buffer(ctx, dst, p);
+      seg.dst_row = part.recv_offset[static_cast<std::size_t>(dst)]
+                                    [static_cast<std::size_t>(d)] +
+                    written[static_cast<std::size_t>(dst)];
+      seg.rows = 1;
+      ++written[static_cast<std::size_t>(dst)];
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+std::vector<comm::RowSegment> grad_dispatch_segments(MoeStepContext& ctx,
+                                                     int p) {
+  MPIPE_EXPECTS(ctx.functional(), "segments need materialized buffers");
+  const auto& part = ctx.plan.part(p);
+  std::vector<comm::RowSegment> segments;
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const auto& routing = part.src[static_cast<std::size_t>(d)];
+    for (int dst = 0; dst < ctx.num_devices(); ++dst) {
+      const std::int64_t count =
+          routing.send_counts[static_cast<std::size_t>(dst)];
+      if (count == 0) continue;
+      comm::RowSegment seg;
+      seg.src_device = d;
+      seg.src = &d_ys_buffer(ctx, d, p);
+      seg.src_row = routing.send_offsets[static_cast<std::size_t>(dst)];
+      seg.dst_device = dst;
+      seg.dst = &d_tdo_buffer(ctx, dst, p);
+      seg.dst_row = part.recv_offset[static_cast<std::size_t>(dst)]
+                                    [static_cast<std::size_t>(d)];
+      seg.rows = count;
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+std::vector<comm::RowSegment> combine_segments(MoeStepContext& ctx, int p,
+                                               bool backward) {
+  MPIPE_EXPECTS(ctx.functional(), "segments need materialized buffers");
+  const auto& part = ctx.plan.part(p);
+  std::vector<comm::RowSegment> segments;
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const auto& routing = part.src[static_cast<std::size_t>(d)];
+    auto& st = ctx.dev[static_cast<std::size_t>(d)];
+    std::vector<std::int64_t> read(
+        static_cast<std::size_t>(ctx.num_devices()), 0);
+    for (std::size_t i = 0; i < routing.order.size(); ++i) {
+      const std::int64_t t = routing.order[i];
+      const std::int64_t e =
+          st.gating.expert_of[static_cast<std::size_t>(t)];
+      const int holder = static_cast<int>(e / ctx.plan.experts_per_device);
+      comm::RowSegment seg;
+      seg.src_device = holder;
+      seg.src = backward ? &d_tdi_buffer(ctx, holder, p)
+                         : &tdo_buffer(ctx, holder, p);
+      seg.src_row = part.recv_offset[static_cast<std::size_t>(holder)]
+                                    [static_cast<std::size_t>(d)] +
+                    read[static_cast<std::size_t>(holder)];
+      seg.dst_device = d;
+      seg.dst = backward ? &st.dx : &st.out;
+      seg.dst_row = t;
+      seg.rows = 1;
+      ++read[static_cast<std::size_t>(holder)];
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+std::uint64_t dispatch_payload_bytes(const MoeStepContext& ctx, int p) {
+  const auto& part = ctx.plan.part(p);
+  std::uint64_t mx = 0;
+  for (int d = 0; d < ctx.num_devices(); ++d) {
+    const auto& routing = part.src[static_cast<std::size_t>(d)];
+    std::uint64_t sent = 0;
+    for (int j = 0; j < ctx.num_devices(); ++j) {
+      if (j == d) continue;
+      sent += static_cast<std::uint64_t>(
+                  routing.send_counts[static_cast<std::size_t>(j)]) *
+              static_cast<std::uint64_t>(ctx.d_model) * sizeof(float);
+    }
+    mx = std::max(mx, sent);
+  }
+  return mx;
+}
+
+std::string staging_key(const char* what, int p) {
+  return std::string(what) + ":p" + std::to_string(p);
+}
+
+void offload_rows(mem::HostStaging& staging, int device,
+                  const std::string& key, const Tensor& buf,
+                  std::int64_t rows) {
+  staging.store(device, key, buf.slice_rows(0, rows));
+}
+
+void prefetch_rows(mem::HostStaging& staging, int device,
+                   const std::string& key, Tensor& buf) {
+  Tensor staged = staging.load(device, key);
+  buf.copy_into_rows(0, staged);
+  staging.drop(device, key);
+}
+
+}  // namespace mpipe::core

@@ -1,0 +1,61 @@
+#pragma once
+/// \file restore.h
+/// Shared machinery behind the memory-reusing restore paths (§III-D):
+/// buffer accessors that dispatch between ring slots and per-partition
+/// stashes, AllToAll segment builders (used both by the forward dispatch
+/// and by S2/S4 re-communication), and the offload/prefetch round trip of
+/// S1–S3.
+
+#include <string>
+#include <vector>
+
+#include "comm/all_to_all.h"
+#include "core/execution_context.h"
+#include "mem/host_staging.h"
+
+namespace mpipe::core {
+
+// ---- buffer accessors (full mode only) -------------------------------------
+
+Tensor& tdi_buffer(MoeStepContext& ctx, int device, int p);
+Tensor& tm_buffer(MoeStepContext& ctx, int device, int p);
+Tensor& tdo_buffer(MoeStepContext& ctx, int device, int p);
+Tensor& d_ys_buffer(MoeStepContext& ctx, int device, int p);
+Tensor& d_tdo_buffer(MoeStepContext& ctx, int device, int p);
+Tensor& d_tdi_buffer(MoeStepContext& ctx, int device, int p);
+
+// ---- segment builders -------------------------------------------------------
+
+/// Dispatch (S): token rows of every device's T_I chunk → the destination
+/// T_DI buffers, expert-sorted. Per-token segments (T_I is unsorted).
+std::vector<comm::RowSegment> dispatch_segments(MoeStepContext& ctx, int p);
+
+/// Backward dispatch (S'): contiguous blocks of the pre-sorted, gate-scaled
+/// d_ys buffers → the d_TDO buffers.
+std::vector<comm::RowSegment> grad_dispatch_segments(MoeStepContext& ctx,
+                                                     int p);
+
+/// Combine (R / R'): T_DO rows back to the original token positions of
+/// T_O, or d_TDI rows back into dX when `backward` is true.
+std::vector<comm::RowSegment> combine_segments(MoeStepContext& ctx, int p,
+                                               bool backward);
+
+/// Max bytes any device ships in partition p's dispatch — the timing-only
+/// AllToAll payload (also correct for combine, which is symmetric).
+std::uint64_t dispatch_payload_bytes(const MoeStepContext& ctx, int p);
+
+// ---- offload round trip -----------------------------------------------------
+
+std::string staging_key(const char* what, int p);
+
+/// D2H: stores the first `rows` rows of `buf` under (device, key).
+void offload_rows(mem::HostStaging& staging, int device,
+                  const std::string& key, const Tensor& buf,
+                  std::int64_t rows);
+
+/// H2D: restores a staged tensor into the head rows of `buf` and drops the
+/// staged copy.
+void prefetch_rows(mem::HostStaging& staging, int device,
+                   const std::string& key, Tensor& buf);
+
+}  // namespace mpipe::core

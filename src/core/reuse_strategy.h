@@ -1,0 +1,34 @@
+#pragma once
+/// \file reuse_strategy.h
+/// The paper's memory-reusing strategies (Table II). All four share the
+/// same ring-buffer footprint; they differ in how the overwritten T_DI and
+/// T_M partitions are restored for the backward pass.
+
+#include <string>
+
+namespace mpipe::core {
+
+enum class ReuseStrategy {
+  kNone,  ///< no reuse: every partition keeps its own activations
+  kS1,    ///< T_DI offload, T_M offload
+  kS2,    ///< T_DI re-communication, T_M offload
+  kS3,    ///< T_DI offload, T_M recompute
+  kS4,    ///< T_DI re-communication, T_M recompute
+};
+
+std::string to_string(ReuseStrategy s);
+
+/// How T_DI is restored under a strategy.
+inline bool restores_tdi_by_comm(ReuseStrategy s) {
+  return s == ReuseStrategy::kS2 || s == ReuseStrategy::kS4;
+}
+/// How T_M is restored under a strategy.
+inline bool restores_tm_by_recompute(ReuseStrategy s) {
+  return s == ReuseStrategy::kS3 || s == ReuseStrategy::kS4;
+}
+inline bool uses_offload(ReuseStrategy s) {
+  return s == ReuseStrategy::kS1 || s == ReuseStrategy::kS2 ||
+         s == ReuseStrategy::kS3;
+}
+
+}  // namespace mpipe::core

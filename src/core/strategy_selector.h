@@ -1,0 +1,42 @@
+#pragma once
+/// \file strategy_selector.h
+/// The adaptive selection component (§III-E): at runtime, evaluate the
+/// Eq-10 cost of every memory-reusing strategy under the measured hardware
+/// speeds and pick the cheapest. Speeds are derived from the cluster's
+/// cost model and interference matrix — the same quantities the paper
+/// measures with micro-benchmarks.
+
+#include <vector>
+
+#include "core/perf_model.h"
+#include "sim/cluster.h"
+
+namespace mpipe::core {
+
+struct StrategyChoice {
+  ReuseStrategy strategy = ReuseStrategy::kS1;
+  double predicted_seconds = 0.0;
+  /// Predicted seconds of every candidate, in S1..S4 order.
+  std::vector<double> candidate_costs;
+};
+
+class StrategySelector {
+ public:
+  /// Derives PerfModelParams from the cluster (micro-batch size b fixes
+  /// the GEMM efficiency point).
+  static PerfModelParams measure(const sim::Cluster& cluster,
+                                 std::int64_t micro_batch,
+                                 std::int64_t d_model);
+
+  explicit StrategySelector(PerfModelParams params);
+
+  /// Picks the cheapest of S1..S4 for a micro-batch of b tokens.
+  StrategyChoice select(std::int64_t b, std::int64_t m, std::int64_t h) const;
+
+  const PerfModel& model() const { return model_; }
+
+ private:
+  PerfModel model_;
+};
+
+}  // namespace mpipe::core

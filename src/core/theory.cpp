@@ -1,0 +1,74 @@
+#include "core/theory.h"
+
+#include "common/check.h"
+
+namespace mpipe::core {
+
+namespace {
+constexpr std::uint64_t kElem = 4;  // fp32
+}
+
+MemoryTheory::MemoryTheory(MemoryTheoryParams p) : params_(p) {
+  MPIPE_EXPECTS(p.d_model > 0 && p.d_hidden > 0, "bad dimensions");
+  MPIPE_EXPECTS(p.num_experts > 0 && p.experts_per_device > 0, "bad counts");
+  MPIPE_EXPECTS(p.tokens_per_device >= 0, "negative batch");
+  MPIPE_EXPECTS(p.n_partitions >= 1, "need n >= 1");
+}
+
+std::uint64_t MemoryTheory::model_states() const {
+  const auto& p = params_;
+  // Gating: E*M params; each expert: 2*H*M (biases ignored, as the paper
+  // does). ×4 for Adam states, ×4 bytes per element.
+  const std::uint64_t params =
+      static_cast<std::uint64_t>(p.num_experts) * p.d_model +
+      static_cast<std::uint64_t>(p.experts_per_device) * 2 * p.d_hidden *
+          p.d_model;
+  return 4 * params * kElem;
+}
+
+std::uint64_t MemoryTheory::activations() const {
+  const auto& p = params_;
+  return (4ull * p.tokens_per_device * p.d_model +
+          static_cast<std::uint64_t>(p.tokens_per_device) * p.d_hidden) *
+         kElem;
+}
+
+std::uint64_t MemoryTheory::temp_buffers() const {
+  const auto& p = params_;
+  return (static_cast<std::uint64_t>(p.tokens_per_device) * p.d_model +
+          static_cast<std::uint64_t>(p.tokens_per_device) * p.d_hidden) *
+         kElem;
+}
+
+std::uint64_t MemoryTheory::pipeline_activations() const {
+  return activations();
+}
+
+std::uint64_t MemoryTheory::pipeline_temp_buffers() const {
+  return activations();  // Eq 4: M^pipe_buf = M^pipe_act
+}
+
+std::uint64_t MemoryTheory::reuse_saving() const {
+  const auto& p = params_;
+  if (p.n_partitions <= 1) return 0;
+  const double n = static_cast<double>(p.n_partitions);
+  const double b = static_cast<double>(p.tokens_per_device);
+  const double m = static_cast<double>(p.d_model);
+  const double h = static_cast<double>(p.d_hidden);
+  // Eq 5. n = 2 zeroes the T_DI/T_DO term (two live slots), and the single
+  // T_M slot saves H(n-1)/n.
+  const double saving =
+      b * (2.0 * m * (n - 2.0) / n + h * (n - 1.0) / n) * kElem;
+  return saving > 0 ? static_cast<std::uint64_t>(saving) : 0;
+}
+
+double MemoryTheory::saving_ratio() const {
+  const double saved = 2.0 * static_cast<double>(reuse_saving());
+  const double denom = static_cast<double>(model_states()) +
+                       static_cast<double>(pipeline_activations()) +
+                       static_cast<double>(pipeline_temp_buffers());
+  MPIPE_ENSURES(denom > 0, "degenerate memory model");
+  return saved / denom;
+}
+
+}  // namespace mpipe::core

@@ -1,0 +1,53 @@
+#pragma once
+/// \file theory.h
+/// Closed-form memory model of the paper (§II-B, §III-D, Equations 1–6).
+/// All results are bytes (fp32 elements × 4). Benches print these next to
+/// the tracker's achieved numbers (Fig 10).
+
+#include <cstdint>
+
+namespace mpipe::core {
+
+struct MemoryTheoryParams {
+  std::int64_t d_model = 0;        ///< M
+  std::int64_t d_hidden = 0;       ///< H
+  std::int64_t num_experts = 0;    ///< E (for the replicated gating network)
+  std::int64_t experts_per_device = 1;
+  std::int64_t tokens_per_device = 0;  ///< B
+  int n_partitions = 1;                ///< n
+};
+
+class MemoryTheory {
+ public:
+  explicit MemoryTheory(MemoryTheoryParams p);
+
+  /// Eq 1: model states = 4 × parameter bytes (params, grads, momentum,
+  /// variance) of the gating network plus the local experts.
+  std::uint64_t model_states() const;
+
+  /// Eq 2: activations without pipelining = (4BM + BH) elements.
+  std::uint64_t activations() const;
+
+  /// Eq 3: peak temporary buffers without pipelining = (BM + BH).
+  std::uint64_t temp_buffers() const;
+
+  /// Eq 4: with pipelining, both activations and peak temp buffers are
+  /// (4BM + BH).
+  std::uint64_t pipeline_activations() const;
+  std::uint64_t pipeline_temp_buffers() const;
+
+  /// Eq 5: reuse saving for activations (== saving for temp buffers):
+  /// B(2M(n-2)/n + H(n-1)/n).
+  std::uint64_t reuse_saving() const;
+
+  /// Eq 6: memory saving ratio
+  /// phi = (dAct + dBuf) / (Mms + Mpipe_act + Mpipe_buf).
+  double saving_ratio() const;
+
+  const MemoryTheoryParams& params() const { return params_; }
+
+ private:
+  MemoryTheoryParams params_;
+};
+
+}  // namespace mpipe::core

@@ -1,0 +1,45 @@
+#include "mem/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace mpipe::mem {
+
+BufferPool::BufferPool(DeviceAllocator& allocator, std::string name,
+                       Shape slot_shape, int depth, Category category,
+                       bool materialize)
+    : name_(std::move(name)), slot_shape_(slot_shape), depth_(depth) {
+  MPIPE_EXPECTS(depth >= 1, "pool depth must be >= 1");
+  slots_.reserve(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    slots_.push_back(allocator.alloc_tensor(slot_shape, category,
+                                            materialize));
+  }
+}
+
+Tensor& BufferPool::slot(int index) {
+  MPIPE_EXPECTS(index >= 0, "negative partition index");
+  Tensor& t = slots_[static_cast<std::size_t>(slot_id(index))].tensor;
+  MPIPE_EXPECTS(t.defined(), "slot access on accounting-only pool");
+  return t;
+}
+
+const Tensor& BufferPool::slot(int index) const {
+  MPIPE_EXPECTS(index >= 0, "negative partition index");
+  const Tensor& t = slots_[static_cast<std::size_t>(slot_id(index))].tensor;
+  MPIPE_EXPECTS(t.defined(), "slot access on accounting-only pool");
+  return t;
+}
+
+int BufferPool::slot_id(int index) const { return index % depth_; }
+
+bool BufferPool::aliases(int a, int b) const {
+  return slot_id(a) == slot_id(b);
+}
+
+std::uint64_t BufferPool::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_) total += s.allocation.bytes();
+  return total;
+}
+
+}  // namespace mpipe::mem

@@ -1,0 +1,49 @@
+#pragma once
+/// \file buffer_pool.h
+/// Ring buffer pool implementing the paper's memory-reusing scheme (§III-D,
+/// Fig 6): with n pipeline partitions, the partitions of T_DI / T_M / T_DO
+/// share `depth` physical slots instead of n — reducing the footprint from
+/// m to depth·(m/n). Slot reuse introduces WAR hazards between partitions;
+/// the pipeline scheduler turns prior readers into dependencies of the next
+/// writer (tests/test_pipeline_schedule.cpp asserts this).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/device_allocator.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::mem {
+
+class BufferPool {
+ public:
+  /// Allocates `depth` slots of `slot_shape` on `allocator` under
+  /// `category`. `name` labels ops that touch the pool. With
+  /// materialize = false the slots are accounting-only (timing-only mode).
+  BufferPool(DeviceAllocator& allocator, std::string name, Shape slot_shape,
+             int depth, Category category, bool materialize = true);
+
+  /// Slot backing partition `index` (index % depth).
+  Tensor& slot(int index);
+  const Tensor& slot(int index) const;
+
+  /// Physical slot id for a partition index.
+  int slot_id(int index) const;
+
+  /// True when partitions a and b share the same physical slot.
+  bool aliases(int a, int b) const;
+
+  int depth() const { return depth_; }
+  const Shape& slot_shape() const { return slot_shape_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t bytes() const;
+
+ private:
+  std::string name_;
+  Shape slot_shape_;
+  int depth_;
+  std::vector<TrackedTensor> slots_;
+};
+
+}  // namespace mpipe::mem

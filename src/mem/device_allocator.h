@@ -1,0 +1,100 @@
+#pragma once
+/// \file device_allocator.h
+/// Accounting allocator for one simulated device. Allocations are RAII
+/// handles: real storage lives in mpipe::Tensor (host memory standing in
+/// for HBM); the allocator tracks *what the GPU would hold* so peak
+/// footprints reproduce the paper's Figures 2, 9, 10.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mem/memory_tracker.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::mem {
+
+class DeviceAllocator;
+
+/// RAII accounting record; releases its bytes on destruction.
+class Allocation {
+ public:
+  Allocation() = default;
+  Allocation(DeviceAllocator* allocator, Category category,
+             std::uint64_t bytes);
+  ~Allocation();
+
+  Allocation(Allocation&& other) noexcept;
+  Allocation& operator=(Allocation&& other) noexcept;
+  Allocation(const Allocation&) = delete;
+  Allocation& operator=(const Allocation&) = delete;
+
+  std::uint64_t bytes() const { return bytes_; }
+  bool active() const { return allocator_ != nullptr; }
+
+  /// Releases early (idempotent).
+  void release();
+
+ private:
+  DeviceAllocator* allocator_ = nullptr;
+  Category category_ = Category::kActivation;
+  std::uint64_t bytes_ = 0;
+};
+
+/// A tensor whose device residency is tracked.
+struct TrackedTensor {
+  Tensor tensor;
+  Allocation allocation;
+
+  bool defined() const { return tensor.defined(); }
+};
+
+class DeviceAllocator {
+ public:
+  /// `capacity_bytes` caps the device (0 = unlimited). Exceeding it throws
+  /// — benches use the cap to demonstrate "fits vs OOM" (Fig 11 batch
+  /// scaling discussion).
+  explicit DeviceAllocator(int device_id, std::uint64_t capacity_bytes = 0);
+
+  // Live Allocation handles hold a pointer to their allocator, so the
+  // allocator must never relocate. Hold DeviceAllocators in a std::deque.
+  DeviceAllocator(const DeviceAllocator&) = delete;
+  DeviceAllocator& operator=(const DeviceAllocator&) = delete;
+  DeviceAllocator(DeviceAllocator&&) = delete;
+  DeviceAllocator& operator=(DeviceAllocator&&) = delete;
+
+  int device_id() const { return device_id_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  Allocation allocate(Category category, std::uint64_t bytes);
+
+  /// Allocates a zeroed tensor with accounting. With materialize = false
+  /// only the accounting happens (timing-only runs at paper scale must not
+  /// touch real storage); the tensor member stays undefined.
+  TrackedTensor alloc_tensor(Shape shape, Category category,
+                             bool materialize = true);
+
+  MemoryTracker& tracker() { return tracker_; }
+  const MemoryTracker& tracker() const { return tracker_; }
+
+ private:
+  friend class Allocation;
+  void on_release(Category category, std::uint64_t bytes);
+
+  int device_id_;
+  std::uint64_t capacity_;
+  MemoryTracker tracker_;
+};
+
+/// Thrown when an allocation would exceed the device capacity.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  OutOfMemoryError(int device, std::uint64_t requested, std::uint64_t in_use,
+                   std::uint64_t capacity);
+
+  std::uint64_t requested;
+  std::uint64_t in_use;
+  std::uint64_t capacity;
+};
+
+}  // namespace mpipe::mem

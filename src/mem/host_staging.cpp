@@ -1,0 +1,56 @@
+#include "mem/host_staging.h"
+
+#include "common/check.h"
+
+namespace mpipe::mem {
+
+void HostStaging::store(int device, const std::string& key, const Tensor& t) {
+  MPIPE_EXPECTS(t.defined(), "staging a null tensor");
+  const auto k = std::make_pair(device, key);
+  auto it = store_.find(k);
+  if (it != store_.end()) {
+    bytes_ -= it->second.nbytes();
+    it->second = t.clone();
+    bytes_ += it->second.nbytes();
+    return;
+  }
+  auto [pos, inserted] = store_.emplace(k, t.clone());
+  bytes_ += pos->second.nbytes();
+}
+
+Tensor HostStaging::load(int device, const std::string& key) const {
+  auto it = store_.find(std::make_pair(device, key));
+  MPIPE_EXPECTS(it != store_.end(),
+                "no staged tensor for device " + std::to_string(device) +
+                    " key '" + key + "'");
+  return it->second.clone();
+}
+
+bool HostStaging::contains(int device, const std::string& key) const {
+  return store_.count(std::make_pair(device, key)) > 0;
+}
+
+void HostStaging::drop(int device, const std::string& key) {
+  auto it = store_.find(std::make_pair(device, key));
+  if (it == store_.end()) return;
+  bytes_ -= it->second.nbytes();
+  store_.erase(it);
+}
+
+void HostStaging::clear_device(int device) {
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->first.first == device) {
+      bytes_ -= it->second.nbytes();
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HostStaging::clear() {
+  store_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace mpipe::mem

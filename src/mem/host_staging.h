@@ -1,0 +1,43 @@
+#pragma once
+/// \file host_staging.h
+/// CPU-side store for offloaded activations (strategies S1–S3). The paper
+/// swaps partitions of T_DI / T_M to host RAM over PCIe during the forward
+/// pass and prefetches them back in backward. Here the "device" tensors are
+/// also host memory, so staging is a real deep copy plus byte accounting —
+/// the restore paths are still byte-exact round trips.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mpipe::mem {
+
+class HostStaging {
+ public:
+  /// Stores a copy of `t` under (device, key). Overwrites silently (a
+  /// re-offload of the same partition in a later step is normal).
+  void store(int device, const std::string& key, const Tensor& t);
+
+  /// Retrieves a copy; throws if absent.
+  Tensor load(int device, const std::string& key) const;
+
+  bool contains(int device, const std::string& key) const;
+
+  /// Drops one entry (after its backward consumer ran).
+  void drop(int device, const std::string& key);
+
+  /// Drops everything staged for a device.
+  void clear_device(int device);
+  void clear();
+
+  std::uint64_t bytes_stored() const { return bytes_; }
+  std::size_t entries() const { return store_.size(); }
+
+ private:
+  std::map<std::pair<int, std::string>, Tensor> store_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mpipe::mem

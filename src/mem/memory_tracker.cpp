@@ -1,0 +1,74 @@
+#include "mem/memory_tracker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mpipe::mem {
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::kModelState: return "model_states";
+    case Category::kActivation: return "activations";
+    case Category::kTempBuffer: return "temp_buffers";
+    case Category::kComm: return "comm";
+  }
+  return "?";
+}
+
+void MemoryTracker::allocate(Category category, std::uint64_t bytes) {
+  auto& cur = current_[static_cast<int>(category)];
+  cur += bytes;
+  peak_[static_cast<int>(category)] =
+      std::max(peak_[static_cast<int>(category)], cur);
+  current_total_ += bytes;
+  peak_total_ = std::max(peak_total_, current_total_);
+}
+
+void MemoryTracker::release(Category category, std::uint64_t bytes) {
+  auto& cur = current_[static_cast<int>(category)];
+  MPIPE_EXPECTS(cur >= bytes, "releasing more than allocated in " +
+                                  to_string(category));
+  cur -= bytes;
+  MPIPE_EXPECTS(current_total_ >= bytes, "total accounting underflow");
+  current_total_ -= bytes;
+}
+
+std::uint64_t MemoryTracker::current(Category category) const {
+  return current_[static_cast<int>(category)];
+}
+
+std::uint64_t MemoryTracker::peak(Category category) const {
+  return peak_[static_cast<int>(category)];
+}
+
+void MemoryTracker::reset_peaks() {
+  for (int i = 0; i < kNumCategories; ++i) {
+    peak_[i] = current_[i];
+  }
+  peak_total_ = current_total_;
+}
+
+void MemoryTracker::reset() {
+  current_.fill(0);
+  peak_.fill(0);
+  current_total_ = 0;
+  peak_total_ = 0;
+}
+
+std::string MemoryTracker::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumCategories; ++i) {
+    os << to_string(static_cast<Category>(i)) << ": cur "
+       << mpipe::mib(static_cast<double>(current_[i])) << " MiB, peak "
+       << mpipe::mib(static_cast<double>(peak_[i])) << " MiB\n";
+  }
+  os << "total: cur " << mpipe::mib(static_cast<double>(current_total_))
+     << " MiB, peak " << mpipe::mib(static_cast<double>(peak_total_))
+     << " MiB\n";
+  return os.str();
+}
+
+}  // namespace mpipe::mem

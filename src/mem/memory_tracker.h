@@ -1,0 +1,53 @@
+#pragma once
+/// \file memory_tracker.h
+/// Byte accounting per memory category, mirroring the paper's breakdown
+/// (§II-B): model states, activations, temporary buffers — plus transient
+/// communication staging. Tracks current and peak usage; every figure that
+/// reports "memory footprint" reads these counters.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mpipe::mem {
+
+enum class Category : std::uint8_t {
+  kModelState = 0,  ///< parameters + gradients + optimizer states
+  kActivation = 1,  ///< stashed forward tensors
+  kTempBuffer = 2,  ///< backward-pass gradient scratch
+  kComm = 3,        ///< collective staging
+};
+
+inline constexpr int kNumCategories = 4;
+
+std::string to_string(Category c);
+
+class MemoryTracker {
+ public:
+  void allocate(Category category, std::uint64_t bytes);
+  void release(Category category, std::uint64_t bytes);
+
+  std::uint64_t current(Category category) const;
+  std::uint64_t peak(Category category) const;
+
+  /// Sum over categories, tracked jointly (peak of the sum, not sum of
+  /// peaks — concurrent liveness matters for the figures).
+  std::uint64_t current_total() const { return current_total_; }
+  std::uint64_t peak_total() const { return peak_total_; }
+
+  /// Clears peaks (not current) — called between measured iterations.
+  void reset_peaks();
+
+  /// Clears everything.
+  void reset();
+
+  std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, kNumCategories> current_{};
+  std::array<std::uint64_t, kNumCategories> peak_{};
+  std::uint64_t current_total_ = 0;
+  std::uint64_t peak_total_ = 0;
+};
+
+}  // namespace mpipe::mem

@@ -1,0 +1,169 @@
+#include "moe/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/random_init.h"
+
+namespace mpipe::moe {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model, int num_heads,
+                                       bool causal, Rng& rng)
+    : num_heads_(num_heads),
+      causal_(causal),
+      wq_(Shape{d_model, d_model}),
+      wk_(Shape{d_model, d_model}),
+      wv_(Shape{d_model, d_model}),
+      wo_(Shape{d_model, d_model}),
+      gwq_(Shape{d_model, d_model}),
+      gwk_(Shape{d_model, d_model}),
+      gwv_(Shape{d_model, d_model}),
+      gwo_(Shape{d_model, d_model}) {
+  MPIPE_EXPECTS(num_heads >= 1, "need at least one head");
+  MPIPE_EXPECTS(d_model % num_heads == 0, "heads must divide d_model");
+  init_kaiming(wq_, rng, d_model);
+  init_kaiming(wk_, rng, d_model);
+  init_kaiming(wv_, rng, d_model);
+  init_kaiming(wo_, rng, d_model);
+}
+
+namespace {
+
+/// Extracts head h of a (B, M) projection as a (B, Dh) matrix.
+Tensor head_slice(const Tensor& t, int h, std::int64_t dh) {
+  const std::int64_t b = t.dim(0);
+  Tensor out(Shape{b, dh});
+  for (std::int64_t r = 0; r < b; ++r) {
+    for (std::int64_t c = 0; c < dh; ++c) {
+      out.at(r, c) = t.at(r, h * dh + c);
+    }
+  }
+  return out;
+}
+
+void head_scatter_add(Tensor& dst, const Tensor& src, int h,
+                      std::int64_t dh) {
+  const std::int64_t b = src.dim(0);
+  for (std::int64_t r = 0; r < b; ++r) {
+    for (std::int64_t c = 0; c < dh; ++c) {
+      dst.at(r, h * dh + c) += src.at(r, c);
+    }
+  }
+}
+
+void apply_causal_mask(Tensor& logits) {
+  const std::int64_t b = logits.dim(0);
+  for (std::int64_t r = 0; r < b; ++r) {
+    for (std::int64_t c = r + 1; c < logits.dim(1); ++c) {
+      logits.at(r, c) = -1e30f;
+    }
+  }
+}
+
+}  // namespace
+
+AttentionForward MultiHeadAttention::forward(const Tensor& x) const {
+  MPIPE_EXPECTS(x.shape().rank() == 2 && x.dim(1) == d_model(),
+                "attention input must be (B, M)");
+  const std::int64_t b = x.dim(0);
+  const std::int64_t dh = d_model() / num_heads_;
+  AttentionForward out;
+  out.q = matmul(x, wq_);
+  out.k = matmul(x, wk_);
+  out.v = matmul(x, wv_);
+  out.scores = Tensor(Shape{static_cast<std::int64_t>(num_heads_) * b, b});
+  out.context = Tensor(Shape{b, d_model()});
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = head_slice(out.q, h, dh);
+    Tensor kh = head_slice(out.k, h, dh);
+    Tensor vh = head_slice(out.v, h, dh);
+    Tensor logits(Shape{b, b});
+    gemm_nt(qh, kh, logits);
+    scale_(logits, inv_sqrt);
+    if (causal_) apply_causal_mask(logits);
+    Tensor probs = softmax_rows(logits);
+    out.scores.copy_into_rows(static_cast<std::int64_t>(h) * b,
+                              probs.reshape(Shape{b, b}));
+    Tensor ctx = matmul(probs, vh);
+    head_scatter_add(out.context, ctx, h, dh);
+  }
+  out.output = matmul(out.context, wo_);
+  return out;
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy, const Tensor& x,
+                                    const AttentionForward& fwd) {
+  const std::int64_t b = x.dim(0);
+  const std::int64_t dh = d_model() / num_heads_;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Output projection.
+  gemm_tn(fwd.context, dy, gwo_, /*accumulate=*/true);
+  Tensor dcontext(Shape{b, d_model()});
+  gemm_nt(dy, wo_, dcontext);
+
+  Tensor dq(Shape{b, d_model()});
+  Tensor dk(Shape{b, d_model()});
+  Tensor dv(Shape{b, d_model()});
+
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = head_slice(fwd.q, h, dh);
+    Tensor kh = head_slice(fwd.k, h, dh);
+    Tensor vh = head_slice(fwd.v, h, dh);
+    Tensor probs = fwd.scores.slice_rows(static_cast<std::int64_t>(h) * b,
+                                         static_cast<std::int64_t>(h + 1) * b);
+    Tensor dctx_h = head_slice(dcontext, h, dh);
+
+    // context = probs @ V.
+    Tensor dprobs(Shape{b, b});
+    gemm_nt(dctx_h, vh, dprobs);
+    Tensor dvh(Shape{b, dh});
+    gemm_tn(probs, dctx_h, dvh);
+
+    Tensor dlogits = softmax_rows_backward(dprobs, probs);
+    scale_(dlogits, inv_sqrt);
+    // Causal-masked entries had probability 0, so the softmax backward
+    // already zeroes their gradient.
+    Tensor dqh(Shape{b, dh});
+    gemm(dlogits, kh, dqh);
+    Tensor dkh(Shape{b, dh});
+    gemm_tn(dlogits, qh, dkh);
+
+    head_scatter_add(dq, dqh, h, dh);
+    head_scatter_add(dk, dkh, h, dh);
+    head_scatter_add(dv, dvh, h, dh);
+  }
+
+  gemm_tn(x, dq, gwq_, /*accumulate=*/true);
+  gemm_tn(x, dk, gwk_, /*accumulate=*/true);
+  gemm_tn(x, dv, gwv_, /*accumulate=*/true);
+
+  Tensor dx(Shape{b, d_model()});
+  Tensor tmp(Shape{b, d_model()});
+  gemm_nt(dq, wq_, dx);
+  gemm_nt(dk, wk_, tmp);
+  add_(dx, tmp);
+  gemm_nt(dv, wv_, tmp);
+  add_(dx, tmp);
+  return dx;
+}
+
+void MultiHeadAttention::zero_grad() {
+  gwq_.zero();
+  gwk_.zero();
+  gwv_.zero();
+  gwo_.zero();
+}
+
+std::vector<Tensor*> MultiHeadAttention::parameters() {
+  return {&wq_, &wk_, &wv_, &wo_};
+}
+
+std::vector<Tensor*> MultiHeadAttention::gradients() {
+  return {&gwq_, &gwk_, &gwv_, &gwo_};
+}
+
+}  // namespace mpipe::moe

@@ -1,0 +1,46 @@
+#pragma once
+/// \file attention.h
+/// Multi-head self-attention with full manual backward — the non-MoE half
+/// of a transformer block. Runs data-parallel (each device attends over its
+/// own tokens); only the MoE FFN communicates. Finite-difference tested.
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::moe {
+
+struct AttentionForward {
+  Tensor q, k, v;        ///< (B, M) projections
+  Tensor scores;         ///< (heads*B, B) post-softmax rows
+  Tensor context;        ///< (B, M) pre-output-projection
+  Tensor output;         ///< (B, M)
+};
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::int64_t d_model, int num_heads, bool causal,
+                     Rng& rng);
+
+  /// Self-attention over a (B, M) sequence of tokens.
+  AttentionForward forward(const Tensor& x) const;
+
+  /// Returns dX; accumulates projection-weight gradients.
+  Tensor backward(const Tensor& dy, const Tensor& x,
+                  const AttentionForward& fwd);
+
+  void zero_grad();
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+
+  std::int64_t d_model() const { return wq_.dim(0); }
+  int num_heads() const { return num_heads_; }
+  bool causal() const { return causal_; }
+
+ private:
+  int num_heads_;
+  bool causal_;
+  Tensor wq_, wk_, wv_, wo_;
+  Tensor gwq_, gwk_, gwv_, gwo_;
+};
+
+}  // namespace mpipe::moe

@@ -1,0 +1,27 @@
+#pragma once
+/// \file config.h
+/// Shared MoE model hyperparameters (paper Table I / Table III notation:
+/// M = d_model, H = d_hidden, E = num_experts, B = tokens per device).
+
+#include <cstdint>
+
+namespace mpipe::moe {
+
+enum class ActivationKind : std::uint8_t {
+  /// ReLU applied in place — matches the paper's memory formulation where
+  /// T_M stores the post-activation middle tensor only (Eq 2).
+  kReLU,
+  /// tanh-approximated GELU. Backward needs the pre-activation tensor, so
+  /// the activation stash grows by B*H; see DESIGN.md.
+  kGELU,
+};
+
+struct MoEModelConfig {
+  std::int64_t d_model = 1024;   ///< M
+  std::int64_t d_hidden = 4096;  ///< H
+  int num_experts = 64;          ///< E
+  int top_k = 1;                 ///< k (the paper evaluates k = 1)
+  ActivationKind activation = ActivationKind::kReLU;
+};
+
+}  // namespace mpipe::moe

@@ -1,0 +1,223 @@
+#include "moe/dispatcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mpipe::moe {
+
+const PartitionPlan& DispatchPlan::part(int p) const {
+  MPIPE_EXPECTS(p >= 0 && p < static_cast<int>(parts.size()),
+                "partition index out of range");
+  return parts[static_cast<std::size_t>(p)];
+}
+
+std::vector<std::int64_t> Dispatcher::chunk_sizes(std::int64_t total, int n) {
+  MPIPE_EXPECTS(total >= 0 && n >= 1, "bad chunking arguments");
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(n));
+  const std::int64_t base = total / n;
+  const std::int64_t rem = total % n;
+  for (int i = 0; i < n; ++i) {
+    sizes[static_cast<std::size_t>(i)] = base + (i < rem ? 1 : 0);
+  }
+  return sizes;
+}
+
+DispatchPlan Dispatcher::build(
+    const std::vector<std::vector<std::int64_t>>& expert_of, int num_devices,
+    int experts_per_device, int n_partitions) {
+  MPIPE_EXPECTS(num_devices >= 1 && experts_per_device >= 1, "bad sizes");
+  MPIPE_EXPECTS(static_cast<int>(expert_of.size()) == num_devices,
+                "expert_of must cover every device");
+  MPIPE_EXPECTS(n_partitions >= 1, "need at least one partition");
+  const std::int64_t tokens = static_cast<std::int64_t>(expert_of[0].size());
+  for (const auto& v : expert_of) {
+    MPIPE_EXPECTS(static_cast<std::int64_t>(v.size()) == tokens,
+                  "devices must hold equal token counts");
+  }
+  const int num_experts = num_devices * experts_per_device;
+
+  DispatchPlan plan;
+  plan.num_devices = num_devices;
+  plan.experts_per_device = experts_per_device;
+  plan.n_partitions = n_partitions;
+  plan.tokens_per_device = tokens;
+  plan.synthetic = false;
+
+  const auto chunks = chunk_sizes(tokens, n_partitions);
+  std::int64_t begin = 0;
+  for (int p = 0; p < n_partitions; ++p) {
+    PartitionPlan part;
+    part.chunk_begin = begin;
+    part.chunk_rows = chunks[static_cast<std::size_t>(p)];
+    part.src.resize(static_cast<std::size_t>(num_devices));
+    part.recv_rows.assign(static_cast<std::size_t>(num_devices), 0);
+    part.recv_offset.assign(static_cast<std::size_t>(num_devices),
+                            std::vector<std::int64_t>(
+                                static_cast<std::size_t>(num_devices), 0));
+
+    for (int d = 0; d < num_devices; ++d) {
+      DeviceRouting& routing = part.src[static_cast<std::size_t>(d)];
+      routing.order.resize(static_cast<std::size_t>(part.chunk_rows));
+      std::iota(routing.order.begin(), routing.order.end(),
+                part.chunk_begin);
+      const auto& experts = expert_of[static_cast<std::size_t>(d)];
+      for (std::int64_t t = part.chunk_begin;
+           t < part.chunk_begin + part.chunk_rows; ++t) {
+        const std::int64_t e = experts[static_cast<std::size_t>(t)];
+        MPIPE_CHECK(e >= 0 && e < num_experts, "expert id out of range");
+      }
+      std::stable_sort(routing.order.begin(), routing.order.end(),
+                       [&](std::int64_t a, std::int64_t b) {
+                         return experts[static_cast<std::size_t>(a)] <
+                                experts[static_cast<std::size_t>(b)];
+                       });
+      routing.send_counts.assign(static_cast<std::size_t>(num_devices), 0);
+      routing.counts_per_expert.assign(
+          static_cast<std::size_t>(num_devices),
+          std::vector<std::int64_t>(
+              static_cast<std::size_t>(experts_per_device), 0));
+      for (std::int64_t row : routing.order) {
+        const std::int64_t e = experts[static_cast<std::size_t>(row)];
+        const int dst = static_cast<int>(e / experts_per_device);
+        const int local = static_cast<int>(e % experts_per_device);
+        ++routing.send_counts[static_cast<std::size_t>(dst)];
+        ++routing.counts_per_expert[static_cast<std::size_t>(dst)]
+              [static_cast<std::size_t>(local)];
+      }
+      routing.send_offsets.assign(static_cast<std::size_t>(num_devices), 0);
+      for (int j = 1; j < num_devices; ++j) {
+        routing.send_offsets[static_cast<std::size_t>(j)] =
+            routing.send_offsets[static_cast<std::size_t>(j - 1)] +
+            routing.send_counts[static_cast<std::size_t>(j - 1)];
+      }
+    }
+
+    // Receive layout: source-major blocks, expert-major within a block.
+    for (int dst = 0; dst < num_devices; ++dst) {
+      std::int64_t offset = 0;
+      for (int srcd = 0; srcd < num_devices; ++srcd) {
+        part.recv_offset[static_cast<std::size_t>(dst)]
+            [static_cast<std::size_t>(srcd)] = offset;
+        offset += part.src[static_cast<std::size_t>(srcd)]
+                      .send_counts[static_cast<std::size_t>(dst)];
+      }
+      part.recv_rows[static_cast<std::size_t>(dst)] = offset;
+      plan.max_recv_rows = std::max(plan.max_recv_rows, offset);
+    }
+
+    // Per local expert: rows inside the receive buffer. Within each source
+    // block tokens are expert-sorted, so each (src, expert) span is
+    // contiguous at a computable offset.
+    part.expert_rows.assign(
+        static_cast<std::size_t>(num_devices),
+        std::vector<std::vector<std::int64_t>>(
+            static_cast<std::size_t>(experts_per_device)));
+    for (int dst = 0; dst < num_devices; ++dst) {
+      for (int srcd = 0; srcd < num_devices; ++srcd) {
+        const DeviceRouting& routing = part.src[static_cast<std::size_t>(srcd)];
+        std::int64_t span_begin =
+            part.recv_offset[static_cast<std::size_t>(dst)]
+                            [static_cast<std::size_t>(srcd)];
+        for (int local = 0; local < experts_per_device; ++local) {
+          const std::int64_t count =
+              routing.counts_per_expert[static_cast<std::size_t>(dst)]
+                                       [static_cast<std::size_t>(local)];
+          auto& rows = part.expert_rows[static_cast<std::size_t>(dst)]
+                                       [static_cast<std::size_t>(local)];
+          for (std::int64_t r = 0; r < count; ++r) {
+            rows.push_back(span_begin + r);
+          }
+          span_begin += count;
+        }
+      }
+    }
+
+    plan.parts.push_back(std::move(part));
+    begin += chunks[static_cast<std::size_t>(p)];
+  }
+  return plan;
+}
+
+DispatchPlan Dispatcher::synthetic(std::int64_t tokens_per_device,
+                                   int num_devices, int experts_per_device,
+                                   int n_partitions, double skew) {
+  MPIPE_EXPECTS(tokens_per_device >= 0, "negative token count");
+  MPIPE_EXPECTS(num_devices >= 1 && experts_per_device >= 1, "bad sizes");
+  MPIPE_EXPECTS(n_partitions >= 1, "need at least one partition");
+  MPIPE_EXPECTS(skew >= 0.0 && skew < 1.0, "skew must be in [0, 1)");
+
+  DispatchPlan plan;
+  plan.num_devices = num_devices;
+  plan.experts_per_device = experts_per_device;
+  plan.n_partitions = n_partitions;
+  plan.tokens_per_device = tokens_per_device;
+  plan.synthetic = true;
+
+  const auto chunks = chunk_sizes(tokens_per_device, n_partitions);
+  std::int64_t begin = 0;
+  for (int p = 0; p < n_partitions; ++p) {
+    PartitionPlan part;
+    part.chunk_begin = begin;
+    part.chunk_rows = chunks[static_cast<std::size_t>(p)];
+    part.src.resize(static_cast<std::size_t>(num_devices));
+    part.recv_rows.assign(static_cast<std::size_t>(num_devices), 0);
+    part.recv_offset.assign(static_cast<std::size_t>(num_devices),
+                            std::vector<std::int64_t>(
+                                static_cast<std::size_t>(num_devices), 0));
+
+    // Destination weights: device 0 absorbs `skew` of every sender's extra
+    // traffic; the remainder spreads evenly.
+    std::vector<double> weight(static_cast<std::size_t>(num_devices),
+                               (1.0 - skew) / num_devices);
+    weight[0] += skew;
+
+    for (int d = 0; d < num_devices; ++d) {
+      DeviceRouting& routing = part.src[static_cast<std::size_t>(d)];
+      routing.send_counts.assign(static_cast<std::size_t>(num_devices), 0);
+      // Largest-remainder apportionment: floor each ideal share, then hand
+      // the leftover rows to the largest fractional parts. Dumping the
+      // remainder on one destination would fabricate a hot spot at ragged
+      // batch sizes.
+      std::int64_t assigned = 0;
+      std::vector<std::pair<double, int>> fractional;
+      for (int j = 0; j < num_devices; ++j) {
+        const double ideal = static_cast<double>(part.chunk_rows) *
+                             weight[static_cast<std::size_t>(j)];
+        const std::int64_t base = static_cast<std::int64_t>(ideal);
+        routing.send_counts[static_cast<std::size_t>(j)] = base;
+        assigned += base;
+        fractional.emplace_back(-(ideal - static_cast<double>(base)), j);
+      }
+      std::sort(fractional.begin(), fractional.end());
+      for (std::int64_t r = 0; r < part.chunk_rows - assigned; ++r) {
+        ++routing.send_counts[static_cast<std::size_t>(
+            fractional[static_cast<std::size_t>(r) % fractional.size()]
+                .second)];
+      }
+      routing.send_offsets.assign(static_cast<std::size_t>(num_devices), 0);
+      for (int j = 1; j < num_devices; ++j) {
+        routing.send_offsets[static_cast<std::size_t>(j)] =
+            routing.send_offsets[static_cast<std::size_t>(j - 1)] +
+            routing.send_counts[static_cast<std::size_t>(j - 1)];
+      }
+    }
+    for (int dst = 0; dst < num_devices; ++dst) {
+      std::int64_t offset = 0;
+      for (int srcd = 0; srcd < num_devices; ++srcd) {
+        part.recv_offset[static_cast<std::size_t>(dst)]
+            [static_cast<std::size_t>(srcd)] = offset;
+        offset += part.src[static_cast<std::size_t>(srcd)]
+                      .send_counts[static_cast<std::size_t>(dst)];
+      }
+      part.recv_rows[static_cast<std::size_t>(dst)] = offset;
+      plan.max_recv_rows = std::max(plan.max_recv_rows, offset);
+    }
+    plan.parts.push_back(std::move(part));
+    begin += chunks[static_cast<std::size_t>(p)];
+  }
+  return plan;
+}
+
+}  // namespace mpipe::moe

@@ -1,0 +1,165 @@
+#include "moe/expert.h"
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/random_init.h"
+
+namespace mpipe::moe {
+
+ExpertFFN::ExpertFFN(std::int64_t d_model, std::int64_t d_hidden,
+                     ActivationKind activation, Rng& rng)
+    : activation_(activation),
+      w1_(Shape{d_model, d_hidden}),
+      b1_(Shape{d_hidden}),
+      w2_(Shape{d_hidden, d_model}),
+      b2_(Shape{d_model}),
+      gw1_(Shape{d_model, d_hidden}),
+      gb1_(Shape{d_hidden}),
+      gw2_(Shape{d_hidden, d_model}),
+      gb2_(Shape{d_model}) {
+  MPIPE_EXPECTS(d_model > 0 && d_hidden > 0, "bad expert dimensions");
+  init_kaiming(w1_, rng, d_model);
+  init_kaiming(w2_, rng, d_hidden);
+}
+
+// T_M stash convention: with ReLU, `mid` holds the post-activation values
+// (in-place semantics, paper §II-B) — the ReLU mask is recoverable from
+// them. With GELU the post-activation is not invertible, so `mid` holds
+// the PRE-activation and FFN2 applies the activation on the fly; the
+// backward reads `mid` accordingly. The activation stash stays B*H either
+// way, so the Eq-2 memory model is unchanged.
+
+Tensor ExpertFFN::forward(const Tensor& x, Tensor& mid) const {
+  MPIPE_EXPECTS(x.shape().rank() == 2 && x.dim(1) == d_model(),
+                "expert input must be (rows, M)");
+  Tensor pre(Shape{x.dim(0), d_hidden()});
+  gemm(x, w1_, pre);
+  add_bias_(pre, b1_);
+  Tensor act;
+  if (activation_ == ActivationKind::kReLU) {
+    mid = relu(pre);
+    act = mid;
+  } else {
+    mid = pre;
+    act = gelu(pre);
+  }
+  Tensor out(Shape{x.dim(0), d_model()});
+  gemm(act, w2_, out);
+  add_bias_(out, b2_);
+  return out;
+}
+
+Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
+                           const Tensor& mid) {
+  MPIPE_EXPECTS(dy.dim(0) == x.dim(0), "row count mismatch");
+  // Recover the post-activation values FFN2 consumed.
+  Tensor act = activation_ == ActivationKind::kReLU ? mid : gelu(mid);
+  // dW2 += act^T dy ; db2 += colsum(dy) ; dAct = dy W2^T.
+  gemm_tn(act, dy, gw2_, /*accumulate=*/true);
+  add_(gb2_, bias_backward(dy));
+  Tensor dact(Shape{x.dim(0), d_hidden()});
+  gemm_nt(dy, w2_, dact);
+  // Through the activation (ReLU's mask works on post-activation values;
+  // GELU differentiates at the stashed pre-activation).
+  Tensor dpre = activation_ == ActivationKind::kReLU
+                    ? relu_backward(dact, mid)
+                    : gelu_backward(dact, mid);
+  // dW1 += x^T dpre ; db1 += colsum(dpre) ; dx = dpre W1^T.
+  gemm_tn(x, dpre, gw1_, /*accumulate=*/true);
+  add_(gb1_, bias_backward(dpre));
+  Tensor dx(Shape{x.dim(0), d_model()});
+  gemm_nt(dpre, w1_, dx);
+  return dx;
+}
+
+Tensor ExpertFFN::gather_rows(const Tensor& buf,
+                              const std::vector<std::int64_t>& rows) const {
+  Tensor out(Shape{static_cast<std::int64_t>(rows.size()), buf.dim(1)});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out.copy_into_rows(static_cast<std::int64_t>(i),
+                       buf.slice_rows(rows[i], rows[i] + 1));
+  }
+  return out;
+}
+
+void ExpertFFN::scatter_rows(const Tensor& src, Tensor& buf,
+                             const std::vector<std::int64_t>& rows) {
+  MPIPE_EXPECTS(src.dim(0) == static_cast<std::int64_t>(rows.size()),
+                "scatter row count mismatch");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    buf.copy_into_rows(rows[i],
+                       src.slice_rows(static_cast<std::int64_t>(i),
+                                      static_cast<std::int64_t>(i) + 1));
+  }
+}
+
+void ExpertFFN::forward_rows(const Tensor& in,
+                             const std::vector<std::int64_t>& rows,
+                             Tensor& mid_buf, Tensor& out_buf) const {
+  if (rows.empty()) return;
+  Tensor x = gather_rows(in, rows);
+  Tensor mid;
+  Tensor y = forward(x, mid);
+  scatter_rows(mid, mid_buf, rows);
+  scatter_rows(y, out_buf, rows);
+}
+
+void ExpertFFN::forward_out_rows(const Tensor& mid_buf,
+                                 const std::vector<std::int64_t>& rows,
+                                 Tensor& out_buf) const {
+  if (rows.empty()) return;
+  Tensor mid = gather_rows(mid_buf, rows);
+  Tensor act = activation_ == ActivationKind::kReLU ? mid : gelu(mid);
+  Tensor out(Shape{mid.dim(0), d_model()});
+  gemm(act, w2_, out);
+  add_bias_(out, b2_);
+  scatter_rows(out, out_buf, rows);
+}
+
+void ExpertFFN::backward_rows(const Tensor& dout_buf, const Tensor& in_buf,
+                              const Tensor& mid_buf,
+                              const std::vector<std::int64_t>& rows,
+                              Tensor& din_buf) {
+  if (rows.empty()) return;
+  Tensor dy = gather_rows(dout_buf, rows);
+  Tensor x = gather_rows(in_buf, rows);
+  Tensor mid = gather_rows(mid_buf, rows);
+  Tensor dx = backward(dy, x, mid);
+  scatter_rows(dx, din_buf, rows);
+}
+
+void ExpertFFN::recompute_mid_rows(const Tensor& in_buf,
+                                   const std::vector<std::int64_t>& rows,
+                                   Tensor& mid_buf) const {
+  if (rows.empty()) return;
+  Tensor x = gather_rows(in_buf, rows);
+  Tensor pre(Shape{x.dim(0), d_hidden()});
+  gemm(x, w1_, pre);
+  add_bias_(pre, b1_);
+  // Same stash convention as forward(): ReLU keeps post-activation, GELU
+  // keeps pre-activation.
+  Tensor mid = activation_ == ActivationKind::kReLU ? relu(pre) : pre;
+  scatter_rows(mid, mid_buf, rows);
+}
+
+void ExpertFFN::zero_grad() {
+  gw1_.zero();
+  gb1_.zero();
+  gw2_.zero();
+  gb2_.zero();
+}
+
+std::vector<Tensor*> ExpertFFN::parameters() {
+  return {&w1_, &b1_, &w2_, &b2_};
+}
+
+std::vector<Tensor*> ExpertFFN::gradients() {
+  return {&gw1_, &gb1_, &gw2_, &gb2_};
+}
+
+std::int64_t ExpertFFN::num_params() const {
+  return w1_.numel() + b1_.numel() + w2_.numel() + b2_.numel();
+}
+
+}  // namespace mpipe::moe

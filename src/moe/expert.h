@@ -1,0 +1,81 @@
+#pragma once
+/// \file expert.h
+/// The expert FFN: y = act(x W1 + b1) W2 + b2 — the paper's default expert
+/// (two linear layers, activation applied in place). Row-indexed variants
+/// let several experts on one device process disjoint row subsets of the
+/// shared T_DI / T_M / T_DO partition buffers.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "moe/config.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::moe {
+
+class ExpertFFN {
+ public:
+  ExpertFFN(std::int64_t d_model, std::int64_t d_hidden,
+            ActivationKind activation, Rng& rng);
+
+  /// Dense whole-tensor forward: returns output, writes the middle
+  /// (post-activation) tensor into `mid`.
+  Tensor forward(const Tensor& x, Tensor& mid) const;
+
+  /// Dense backward; accumulates weight grads, returns dX.
+  Tensor backward(const Tensor& dy, const Tensor& x, const Tensor& mid);
+
+  /// Row-indexed forward: processes `rows` of `in`, writing the same rows
+  /// of `mid_buf` and `out_buf`.
+  void forward_rows(const Tensor& in, const std::vector<std::int64_t>& rows,
+                    Tensor& mid_buf, Tensor& out_buf) const;
+
+  /// FFN1 only: T_M rows = act(T_DI rows · W1 + b1). Same computation as
+  /// recompute_mid_rows; aliased for the pipeline's C1 stage.
+  void forward_mid_rows(const Tensor& in_buf,
+                        const std::vector<std::int64_t>& rows,
+                        Tensor& mid_buf) const {
+    recompute_mid_rows(in_buf, rows, mid_buf);
+  }
+
+  /// FFN2 only: T_DO rows = T_M rows · W2 + b2 (the pipeline's C2 stage).
+  void forward_out_rows(const Tensor& mid_buf,
+                        const std::vector<std::int64_t>& rows,
+                        Tensor& out_buf) const;
+
+  /// Row-indexed backward: consumes the same rows of dout/in/mid buffers,
+  /// writes dX into the rows of `din_buf`, accumulates weight grads.
+  void backward_rows(const Tensor& dout_buf, const Tensor& in_buf,
+                     const Tensor& mid_buf,
+                     const std::vector<std::int64_t>& rows, Tensor& din_buf);
+
+  /// Recompute of T_M rows from restored T_DI rows (strategies S3/S4).
+  void recompute_mid_rows(const Tensor& in_buf,
+                          const std::vector<std::int64_t>& rows,
+                          Tensor& mid_buf) const;
+
+  void zero_grad();
+
+  /// Parameter/grad access for the optimizer (order: w1, b1, w2, b2).
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+
+  /// Total parameter element count (2*H*M + H + M).
+  std::int64_t num_params() const;
+
+  std::int64_t d_model() const { return w1_.dim(0); }
+  std::int64_t d_hidden() const { return w1_.dim(1); }
+  ActivationKind activation() const { return activation_; }
+
+ private:
+  Tensor gather_rows(const Tensor& buf,
+                     const std::vector<std::int64_t>& rows) const;
+  static void scatter_rows(const Tensor& src, Tensor& buf,
+                           const std::vector<std::int64_t>& rows);
+
+  ActivationKind activation_;
+  Tensor w1_, b1_, w2_, b2_;
+  Tensor gw1_, gb1_, gw2_, gb2_;
+};
+
+}  // namespace mpipe::moe

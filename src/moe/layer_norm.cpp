@@ -1,0 +1,99 @@
+#include "moe/layer_norm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpipe::moe {
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps)
+    : eps_(eps),
+      gamma_(Tensor::full(Shape{dim}, 1.0f)),
+      beta_(Shape{dim}),
+      gamma_grad_(Shape{dim}),
+      beta_grad_(Shape{dim}) {
+  MPIPE_EXPECTS(dim > 0, "layer norm over empty dimension");
+}
+
+LayerNormForward LayerNorm::forward(const Tensor& x) const {
+  MPIPE_EXPECTS(x.shape().rank() == 2 && x.dim(1) == dim(),
+                "layer norm input must be (B, dim)");
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  LayerNormForward out;
+  out.normalized = Tensor(x.shape());
+  out.inv_std = Tensor(Shape{rows});
+  out.output = Tensor(x.shape());
+  const float* px = x.data();
+  const float* pg = gamma_.data();
+  const float* pb = beta_.data();
+  float* pn = out.normalized.data();
+  float* ps = out.inv_std.data();
+  float* po = out.output.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * cols;
+    double mean = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) mean += row[c];
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    ps[r] = inv;
+    float* nrow = pn + r * cols;
+    float* orow = po + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      nrow[c] = (row[c] - static_cast<float>(mean)) * inv;
+      orow[c] = nrow[c] * pg[c] + pb[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy, const LayerNormForward& fwd) {
+  MPIPE_EXPECTS(dy.shape() == fwd.output.shape(), "dy shape mismatch");
+  const std::int64_t rows = dy.dim(0), cols = dy.dim(1);
+  Tensor dx(dy.shape());
+  const float* pdy = dy.data();
+  const float* pn = fwd.normalized.data();
+  const float* ps = fwd.inv_std.data();
+  const float* pg = gamma_.data();
+  float* pgg = gamma_grad_.data();
+  float* pbg = beta_grad_.data();
+  float* pdx = dx.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* gy = pdy + r * cols;
+    const float* nr = pn + r * cols;
+    float* ox = pdx + r * cols;
+    // Parameter grads.
+    for (std::int64_t c = 0; c < cols; ++c) {
+      pgg[c] += gy[c] * nr[c];
+      pbg[c] += gy[c];
+    }
+    // dX via the standard LayerNorm backward:
+    // dx = inv_std/cols * (cols*dn - sum(dn) - n * sum(dn*n)),
+    // where dn = dy * gamma.
+    double sum_dn = 0.0, sum_dn_n = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double dn = static_cast<double>(gy[c]) * pg[c];
+      sum_dn += dn;
+      sum_dn_n += dn * nr[c];
+    }
+    const double invc = 1.0 / static_cast<double>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double dn = static_cast<double>(gy[c]) * pg[c];
+      ox[c] = static_cast<float>(
+          ps[r] * (dn - sum_dn * invc - nr[c] * sum_dn_n * invc));
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::zero_grad() {
+  gamma_grad_.zero();
+  beta_grad_.zero();
+}
+
+}  // namespace mpipe::moe

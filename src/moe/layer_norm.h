@@ -1,0 +1,40 @@
+#pragma once
+/// \file layer_norm.h
+/// Row-wise LayerNorm with affine parameters and exact manual backward.
+/// Used by the transformer-block examples around attention and the MoE FFN.
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mpipe::moe {
+
+struct LayerNormForward {
+  Tensor normalized;  ///< (B, M) — pre-affine normalized values
+  Tensor inv_std;     ///< (B) per-row 1/sqrt(var + eps)
+  Tensor output;      ///< (B, M)
+};
+
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+
+  LayerNormForward forward(const Tensor& x) const;
+
+  /// Returns dX; accumulates gamma/beta gradients.
+  Tensor backward(const Tensor& dy, const LayerNormForward& fwd);
+
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+  Tensor& gamma_grad() { return gamma_grad_; }
+  Tensor& beta_grad() { return beta_grad_; }
+  void zero_grad();
+
+  std::int64_t dim() const { return gamma_.dim(0); }
+
+ private:
+  float eps_;
+  Tensor gamma_, beta_;
+  Tensor gamma_grad_, beta_grad_;
+};
+
+}  // namespace mpipe::moe

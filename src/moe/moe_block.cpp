@@ -1,0 +1,50 @@
+#include "moe/moe_block.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mpipe::moe {
+
+TransformerBlockPieces::TransformerBlockPieces(std::int64_t d_model,
+                                               int num_heads, bool causal,
+                                               Rng& rng)
+    : ln1_(d_model), attn_(d_model, num_heads, causal, rng), ln2_(d_model) {}
+
+BlockForward TransformerBlockPieces::forward_pre_ffn(const Tensor& x) const {
+  BlockForward out;
+  out.ln1 = ln1_.forward(x);
+  out.attn = attn_.forward(out.ln1.output);
+  out.after_attn = add(x, out.attn.output);
+  out.ln2 = ln2_.forward(out.after_attn);
+  out.ffn_input = out.ln2.output;
+  return out;
+}
+
+Tensor TransformerBlockPieces::finish_forward(const BlockForward& fwd,
+                                              const Tensor& ffn_out) {
+  return add(fwd.after_attn, ffn_out);
+}
+
+Tensor TransformerBlockPieces::backward(const Tensor& dy,
+                                        const Tensor& d_ffn_input,
+                                        const Tensor& x,
+                                        const BlockForward& fwd) {
+  MPIPE_EXPECTS(dy.shape() == x.shape(), "dy shape mismatch");
+  // y = after_attn + ffn(ln2(after_attn)):
+  //   d_after_attn = dy + ln2.backward(d_ffn_input)
+  Tensor d_after = ln2_.backward(d_ffn_input, fwd.ln2);
+  add_(d_after, dy);
+  // after_attn = x + attn(ln1(x)).
+  Tensor d_ln1_out = attn_.backward(d_after, fwd.ln1.output, fwd.attn);
+  Tensor dx = ln1_.backward(d_ln1_out, fwd.ln1);
+  add_(dx, d_after);
+  return dx;
+}
+
+void TransformerBlockPieces::zero_grad() {
+  ln1_.zero_grad();
+  ln2_.zero_grad();
+  attn_.zero_grad();
+}
+
+}  // namespace mpipe::moe

@@ -1,0 +1,53 @@
+#pragma once
+/// \file moe_block.h
+/// The non-distributed pieces of a transformer MoE block: pre-norm
+/// attention with residual, plus the second norm in front of the FFN slot.
+/// The FFN itself is pluggable — examples wire in core::MoELayer (the
+/// distributed MoE FFN) or a dense ExpertFFN for comparison.
+
+#include <functional>
+
+#include "moe/attention.h"
+#include "moe/layer_norm.h"
+
+namespace mpipe::moe {
+
+struct BlockForward {
+  LayerNormForward ln1;
+  AttentionForward attn;
+  Tensor after_attn;  ///< x + attention(ln1(x))
+  LayerNormForward ln2;
+  Tensor ffn_input;   ///< ln2 output fed to the FFN slot
+};
+
+/// Pre-norm transformer block scaffold around a pluggable FFN:
+///   y = after_attn + FFN(ln2(after_attn)),   after_attn = x + Attn(ln1(x))
+class TransformerBlockPieces {
+ public:
+  TransformerBlockPieces(std::int64_t d_model, int num_heads, bool causal,
+                         Rng& rng);
+
+  /// Everything up to (and including) the FFN input.
+  BlockForward forward_pre_ffn(const Tensor& x) const;
+
+  /// Combines the FFN output with the residual: y = after_attn + ffn_out.
+  static Tensor finish_forward(const BlockForward& fwd,
+                               const Tensor& ffn_out);
+
+  /// Backward from dY given the FFN-input gradient produced by the FFN's
+  /// own backward. Returns dX. (dY also flows through the FFN residual.)
+  Tensor backward(const Tensor& dy, const Tensor& d_ffn_input,
+                  const Tensor& x, const BlockForward& fwd);
+
+  LayerNorm& ln1() { return ln1_; }
+  LayerNorm& ln2() { return ln2_; }
+  MultiHeadAttention& attention() { return attn_; }
+  void zero_grad();
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention attn_;
+  LayerNorm ln2_;
+};
+
+}  // namespace mpipe::moe

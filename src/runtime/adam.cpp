@@ -1,0 +1,62 @@
+#include "runtime/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpipe::runtime {
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+           AdamOptions options)
+    : params_(std::move(params)), grads_(std::move(grads)),
+      options_(options) {
+  MPIPE_EXPECTS(params_.size() == grads_.size(),
+                "parameter/gradient count mismatch");
+  MPIPE_EXPECTS(options_.lr > 0, "non-positive learning rate");
+  momentum_.reserve(params_.size());
+  variance_.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    MPIPE_EXPECTS(params_[i] != nullptr && grads_[i] != nullptr,
+                  "null parameter binding");
+    MPIPE_EXPECTS(params_[i]->shape() == grads_[i]->shape(),
+                  "parameter/gradient shape mismatch");
+    momentum_.emplace_back(params_[i]->shape());
+    variance_.emplace_back(params_[i]->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->data();
+    const float* g = grads_[i]->data();
+    float* m = momentum_[i].data();
+    float* v = variance_[i].data();
+    const std::int64_t n = params_[i]->numel();
+    for (std::int64_t k = 0; k < n; ++k) {
+      float grad = g[k] + options_.weight_decay * p[k];
+      m[k] = options_.beta1 * m[k] + (1.0f - options_.beta1) * grad;
+      v[k] = options_.beta2 * v[k] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[k] / bc1;
+      const float v_hat = v[k] / bc2;
+      p[k] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Tensor* g : grads_) g->zero();
+}
+
+std::uint64_t Adam::state_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Tensor& m : momentum_) bytes += m.nbytes();
+  for (const Tensor& v : variance_) bytes += v.nbytes();
+  return bytes;
+}
+
+}  // namespace mpipe::runtime

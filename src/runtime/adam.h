@@ -1,0 +1,49 @@
+#pragma once
+/// \file adam.h
+/// Adam optimizer (Kingma & Ba) — the paper's default optimizer, and the
+/// reason model states cost 4× the parameter bytes (params, grads,
+/// momentum, variance).
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mpipe::runtime {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  /// Binds to parameter/gradient pairs (index-aligned, stable addresses).
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+       AdamOptions options = {});
+
+  /// One update step with bias correction.
+  void step();
+
+  /// Zeroes all bound gradients.
+  void zero_grad();
+
+  std::int64_t step_count() const { return t_; }
+  const AdamOptions& options() const { return options_; }
+
+  /// Total optimizer-state bytes (momentum + variance).
+  std::uint64_t state_bytes() const;
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> momentum_;
+  std::vector<Tensor> variance_;
+  AdamOptions options_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace mpipe::runtime

@@ -1,0 +1,54 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mpipe::runtime {
+
+void TrainingMetrics::record_step(double loss,
+                                  const core::StepReport& report) {
+  losses_.push_back(loss);
+  step_seconds_.push_back(report.step_seconds());
+  utilizations_.push_back(report.mean_gpu_utilization);
+  peak_memory_ = std::max(peak_memory_, report.memory.total_peak);
+}
+
+double TrainingMetrics::first_loss() const {
+  MPIPE_EXPECTS(!losses_.empty(), "no steps recorded");
+  return losses_.front();
+}
+
+double TrainingMetrics::last_loss() const {
+  MPIPE_EXPECTS(!losses_.empty(), "no steps recorded");
+  return losses_.back();
+}
+
+double TrainingMetrics::mean_step_seconds(std::size_t warmup) const {
+  MPIPE_EXPECTS(step_seconds_.size() > warmup, "not enough steps");
+  double acc = 0.0;
+  for (std::size_t i = warmup; i < step_seconds_.size(); ++i) {
+    acc += step_seconds_[i];
+  }
+  return acc / static_cast<double>(step_seconds_.size() - warmup);
+}
+
+double TrainingMetrics::mean_gpu_utilization() const {
+  MPIPE_EXPECTS(!utilizations_.empty(), "no steps recorded");
+  double acc = 0.0;
+  for (double u : utilizations_) acc += u;
+  return acc / static_cast<double>(utilizations_.size());
+}
+
+std::string TrainingMetrics::summary() const {
+  std::ostringstream os;
+  os << steps() << " steps, loss " << first_loss() << " -> " << last_loss()
+     << ", mean step " << mpipe::to_ms(mean_step_seconds()) << " ms"
+     << ", peak mem " << mpipe::mib(static_cast<double>(peak_memory_))
+     << " MiB, util " << mean_gpu_utilization() * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace mpipe::runtime

@@ -1,0 +1,38 @@
+#pragma once
+/// \file metrics.h
+/// Per-run metric aggregation: step times, losses, memory peaks — the raw
+/// material of every bench table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/pipeline_executor.h"
+
+namespace mpipe::runtime {
+
+class TrainingMetrics {
+ public:
+  void record_step(double loss, const core::StepReport& report);
+
+  std::size_t steps() const { return losses_.size(); }
+  const std::vector<double>& losses() const { return losses_; }
+  double first_loss() const;
+  double last_loss() const;
+  /// Mean simulated step time over the recorded steps, optionally dropping
+  /// the first `warmup` (the paper reports averaged training time).
+  double mean_step_seconds(std::size_t warmup = 0) const;
+  std::uint64_t peak_memory_bytes() const { return peak_memory_; }
+  double mean_gpu_utilization() const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<double> losses_;
+  std::vector<double> step_seconds_;
+  std::vector<double> utilizations_;
+  std::uint64_t peak_memory_ = 0;
+};
+
+}  // namespace mpipe::runtime

@@ -1,0 +1,21 @@
+#include "runtime/model_zoo.h"
+
+namespace mpipe::runtime {
+
+ModelSpec gpt_s() { return {"MoE-GPT3-S", 768, 3072, 64}; }
+ModelSpec gpt_xl() { return {"MoE-GPT3-XL", 2048, 8192, 64}; }
+ModelSpec bert_l() { return {"MoE-BERT-L", 1024, 4096, 64}; }
+
+std::vector<ModelSpec> paper_models() {
+  return {gpt_s(), bert_l(), gpt_xl()};
+}
+
+core::MoELayerOptions layer_options(const ModelSpec& spec) {
+  core::MoELayerOptions o;
+  o.d_model = spec.d_model;
+  o.d_hidden = spec.d_hidden;
+  o.num_experts = spec.num_experts;
+  return o;
+}
+
+}  // namespace mpipe::runtime

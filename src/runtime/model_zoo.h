@@ -1,0 +1,32 @@
+#pragma once
+/// \file model_zoo.h
+/// The paper's evaluated MoE layer configurations (Table III).
+
+#include <string>
+#include <vector>
+
+#include "core/moe_layer.h"
+
+namespace mpipe::runtime {
+
+struct ModelSpec {
+  std::string name;
+  std::int64_t d_model = 0;   ///< Table III d_model
+  std::int64_t d_hidden = 0;  ///< Table III d_hidden
+  int num_experts = 64;       ///< Table III #experts
+};
+
+/// MoE-GPT3-S: d_model 768, d_hidden 3072.
+ModelSpec gpt_s();
+/// MoE-GPT3-XL: d_model 2048, d_hidden 8192.
+ModelSpec gpt_xl();
+/// MoE-BERT-L: d_model 1024, d_hidden 4096.
+ModelSpec bert_l();
+
+/// The Table III lineup in the paper's plotting order.
+std::vector<ModelSpec> paper_models();
+
+/// MoELayer options pre-filled from a model spec.
+core::MoELayerOptions layer_options(const ModelSpec& spec);
+
+}  // namespace mpipe::runtime

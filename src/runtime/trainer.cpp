@@ -1,0 +1,46 @@
+#include "runtime/trainer.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mpipe::runtime {
+
+Trainer::Trainer(core::MoELayer& layer, TrainerOptions options)
+    : layer_(&layer), options_(options), workload_(options.workload) {
+  MPIPE_EXPECTS(options_.workload.num_devices == layer.num_devices(),
+                "workload/device mismatch");
+  MPIPE_EXPECTS(options_.workload.d_model == layer.options().d_model,
+                "workload/model dimension mismatch");
+  optimizer_ = std::make_unique<Adam>(layer.parameters(), layer.gradients(),
+                                      options_.adam);
+}
+
+double Trainer::train_step() {
+  layer_->zero_grad();
+  auto batch = workload_.next_batch();
+  auto targets = workload_.targets_for(batch);
+  auto outputs = layer_->forward(batch);
+
+  double loss = 0.0;
+  std::vector<Tensor> grads;
+  grads.reserve(outputs.size());
+  for (std::size_t d = 0; d < outputs.size(); ++d) {
+    loss += mse_loss(outputs[d], targets[d]);
+    grads.push_back(mse_loss_grad(outputs[d], targets[d]));
+  }
+  loss /= static_cast<double>(outputs.size());
+
+  layer_->backward(grads);
+  optimizer_->step();
+  metrics_.record_step(loss, layer_->last_report());
+  return loss;
+}
+
+const TrainingMetrics& Trainer::run() {
+  for (int i = 0; i < options_.steps; ++i) {
+    train_step();
+  }
+  return metrics_;
+}
+
+}  // namespace mpipe::runtime

@@ -1,0 +1,55 @@
+#include "sim/cluster.h"
+
+#include "common/check.h"
+
+namespace mpipe::sim {
+
+Cluster::Cluster(ClusterConfig config)
+    : topology_(config.topology),
+      cost_model_(config.cost, Topology(config.topology)),
+      interference_(config.interference) {
+  devices_.reserve(static_cast<std::size_t>(topology_.num_devices()));
+  for (int d = 0; d < topology_.num_devices(); ++d) {
+    devices_.emplace_back(d, topology_.node_of(d));
+  }
+}
+
+Cluster Cluster::dgx_a100_pod(int nodes, int gpus_per_node) {
+  ClusterConfig cfg;
+  cfg.topology.num_devices = nodes * gpus_per_node;
+  cfg.topology.devices_per_node = gpus_per_node;
+  return Cluster(cfg);
+}
+
+const Device& Cluster::device(int id) const {
+  MPIPE_EXPECTS(id >= 0 && id < num_devices(), "device id out of range");
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Cluster::all_device_ids() const {
+  std::vector<int> ids(static_cast<std::size_t>(num_devices()));
+  for (int d = 0; d < num_devices(); ++d) {
+    ids[static_cast<std::size_t>(d)] = d;
+  }
+  return ids;
+}
+
+TimingResult Cluster::run(const OpGraph& graph) {
+  run_functional(graph);
+  return time_only(graph);
+}
+
+TimingResult Cluster::time_only(const OpGraph& graph) {
+  TimingEngine engine(interference_, num_devices());
+  return engine.run(graph);
+}
+
+void Cluster::run_functional(const OpGraph& graph) {
+  graph.validate(num_devices());
+  for (int id : graph.topo_order()) {
+    const Op& op = graph.op(id);
+    if (op.fn) op.fn();
+  }
+}
+
+}  // namespace mpipe::sim

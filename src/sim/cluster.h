@@ -1,0 +1,57 @@
+#pragma once
+/// \file cluster.h
+/// The simulated cluster: topology + interference + cost model + devices.
+/// `run()` executes an OpGraph functionally (real math, deterministic topo
+/// order) and temporally (timing engine), returning the timing result.
+
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/interference.h"
+#include "sim/op_graph.h"
+#include "sim/timing_engine.h"
+#include "sim/topology.h"
+
+namespace mpipe::sim {
+
+struct ClusterConfig {
+  TopologyConfig topology;
+  CostModelConfig cost;
+  InterferenceModel interference = InterferenceModel::dgx_a100();
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  /// Paper testbed: 8 nodes × 8 GPUs.
+  static Cluster dgx_a100_pod(int nodes = 8, int gpus_per_node = 8);
+
+  int num_devices() const { return topology_.num_devices(); }
+  const Device& device(int id) const;
+  std::vector<int> all_device_ids() const;
+
+  const Topology& topology() const { return topology_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const InterferenceModel& interference() const { return interference_; }
+
+  /// Functional + timed execution.
+  TimingResult run(const OpGraph& graph);
+
+  /// Timed execution only (closures not invoked) — used by the adaptive
+  /// granularity search to probe candidate schedules cheaply.
+  TimingResult time_only(const OpGraph& graph);
+
+  /// Functional execution only (no timing) — used in numerics tests.
+  void run_functional(const OpGraph& graph);
+
+ private:
+  Topology topology_;
+  CostModel cost_model_;
+  InterferenceModel interference_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace mpipe::sim

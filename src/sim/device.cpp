@@ -1,0 +1,13 @@
+#include "sim/device.h"
+
+#include "common/check.h"
+
+namespace mpipe::sim {
+
+Device::Device(int id, int node) : id_(id), node_(node) {
+  MPIPE_EXPECTS(id >= 0, "negative device id");
+  MPIPE_EXPECTS(node >= 0, "negative node id");
+  name_ = "gpu" + std::to_string(id) + "@node" + std::to_string(node);
+}
+
+}  // namespace mpipe::sim

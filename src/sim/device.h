@@ -1,0 +1,25 @@
+#pragma once
+/// \file device.h
+/// One simulated accelerator: identity plus node placement. Streams are
+/// implicit (every device has the three StreamKind streams); memory
+/// accounting lives in mem::DeviceAllocator, owned by the System layer.
+
+#include <string>
+
+namespace mpipe::sim {
+
+class Device {
+ public:
+  Device(int id, int node);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  int id_;
+  int node_;
+  std::string name_;
+};
+
+}  // namespace mpipe::sim

@@ -1,0 +1,14 @@
+// event_queue.h is header-only; this translation unit exists so the build
+// catches template syntax errors even if no test instantiates the queue.
+#include "sim/event_queue.h"
+
+namespace mpipe::sim {
+namespace {
+// Force an instantiation for the common payload type.
+[[maybe_unused]] void instantiate() {
+  EventQueue<int> q;
+  q.push(1.0, 42);
+  (void)q.pop();
+}
+}  // namespace
+}  // namespace mpipe::sim

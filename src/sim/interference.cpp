@@ -1,0 +1,79 @@
+#include "sim/interference.h"
+
+#include "common/check.h"
+
+namespace mpipe::sim {
+
+// For each subject, the "other" kinds in ascending order:
+//   subject comp (0): others are comm (1), mem (2)
+//   subject comm (1): others are comp (0), mem (2)
+//   subject mem  (2): others are comp (0), comm (1)
+
+InterferenceModel InterferenceModel::dgx_a100() {
+  InterferenceModel m;
+  // Fig 3 row "comp": 0.96 vs comm, 1.0 vs mem, 0.94 with all.
+  m.set_row(StreamKind::kCompute, {1.0, 0.96, 1.0, 0.94});
+  // Fig 3 row "comm": 0.72 vs comp, 0.78 vs mem, 0.71 with all.
+  m.set_row(StreamKind::kComm, {1.0, 0.72, 0.78, 0.71});
+  // Fig 3 row "mem": 0.98 vs comp, 0.80 vs comm, 0.71 with all.
+  m.set_row(StreamKind::kMem, {1.0, 0.98, 0.80, 0.71});
+  return m;
+}
+
+InterferenceModel InterferenceModel::ideal() { return InterferenceModel(); }
+
+double InterferenceModel::factor(StreamKind subject, bool comm_active,
+                                 bool comp_active, bool mem_active) const {
+  bool first = false, second = false;
+  switch (subject) {
+    case StreamKind::kCompute:
+      first = comm_active;
+      second = mem_active;
+      break;
+    case StreamKind::kComm:
+      first = comp_active;
+      second = mem_active;
+      break;
+    case StreamKind::kMem:
+      first = comp_active;
+      second = comm_active;
+      break;
+  }
+  const InterferenceRow& r = rows_[static_cast<int>(subject)];
+  if (first && second) return r.vs_all;
+  if (first) return r.vs_first;
+  if (second) return r.vs_second;
+  return r.alone;
+}
+
+void InterferenceModel::set_row(StreamKind subject, InterferenceRow row) {
+  MPIPE_EXPECTS(row.alone > 0 && row.vs_first > 0 && row.vs_second > 0 &&
+                    row.vs_all > 0,
+                "interference factors must be positive");
+  MPIPE_EXPECTS(row.alone <= 1.0 && row.vs_first <= 1.0 &&
+                    row.vs_second <= 1.0 && row.vs_all <= 1.0,
+                "interference factors must be <= 1");
+  rows_[static_cast<int>(subject)] = row;
+}
+
+const InterferenceRow& InterferenceModel::row(StreamKind subject) const {
+  return rows_[static_cast<int>(subject)];
+}
+
+double InterferenceModel::mu_comp() const {
+  return rows_[static_cast<int>(StreamKind::kComm)].vs_first;
+}
+
+double InterferenceModel::mu_all() const {
+  return rows_[static_cast<int>(StreamKind::kComm)].vs_all;
+}
+
+double InterferenceModel::sigma_comm() const {
+  return rows_[static_cast<int>(StreamKind::kCompute)].vs_first;
+}
+
+double InterferenceModel::eta_all() const {
+  return rows_[static_cast<int>(StreamKind::kMem)].vs_all;
+}
+
+}  // namespace mpipe::sim

@@ -1,0 +1,51 @@
+#pragma once
+/// \file interference.h
+/// Stream-interference model (paper §II-C, Fig 3). Concurrent streams on a
+/// device slow each other down: communication runs at µ_x·W_comm, compute
+/// at σ_x·W_comp, memory copy at η_x·W_mem, where x is the set of other
+/// active streams. Defaults reproduce the Fig-3 matrix measured on DGX A100.
+
+#include "sim/stream.h"
+
+namespace mpipe::sim {
+
+/// Slowdown factors for one subject stream kind against each combination of
+/// the other two kinds being active.
+struct InterferenceRow {
+  double alone = 1.0;
+  double vs_first = 1.0;   ///< only the lower-numbered other kind active
+  double vs_second = 1.0;  ///< only the higher-numbered other kind active
+  double vs_all = 1.0;     ///< both other kinds active
+};
+
+class InterferenceModel {
+ public:
+  /// Fig-3 DGX A100 calibration.
+  static InterferenceModel dgx_a100();
+
+  /// No interference at all (ideal hardware).
+  static InterferenceModel ideal();
+
+  InterferenceModel() = default;
+
+  /// Factor in (0, 1] for `subject` when `comm/comp/mem` indicate which
+  /// stream kinds (other than the subject) currently run on the device.
+  double factor(StreamKind subject, bool comm_active, bool comp_active,
+                bool mem_active) const;
+
+  void set_row(StreamKind subject, InterferenceRow row);
+  const InterferenceRow& row(StreamKind subject) const;
+
+  /// Convenience accessors used by the Eq-10 performance model.
+  double mu_comp() const;   ///< comm slowdown when compute overlaps
+  double mu_all() const;    ///< comm slowdown when everything overlaps
+  double sigma_comm() const;///< compute slowdown when comm overlaps
+  double eta_all() const;   ///< memcpy slowdown when everything overlaps
+
+ private:
+  // Index by subject kind. "first"/"second" refer to the other two kinds in
+  // ascending StreamKind order (see interference.cpp for the mapping).
+  InterferenceRow rows_[kNumStreamKinds];
+};
+
+}  // namespace mpipe::sim

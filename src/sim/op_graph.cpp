@@ -1,0 +1,121 @@
+#include "sim/op_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+
+namespace mpipe::sim {
+
+int OpGraph::add(Op op) {
+  MPIPE_EXPECTS(!op.devices.empty(), "op must name at least one device");
+  MPIPE_EXPECTS(op.base_seconds >= 0.0, "negative duration");
+  for (int dep : op.deps) {
+    MPIPE_EXPECTS(dep >= 0 && dep < size(),
+                  "dependency on unknown op: " + op.label);
+  }
+  op.id = size();
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+int OpGraph::add(std::string label, OpCategory category, StreamKind stream,
+                 std::vector<int> devices, double base_seconds,
+                 std::vector<int> deps, std::function<void()> fn,
+                 double compute_efficiency) {
+  Op op;
+  op.label = std::move(label);
+  op.category = category;
+  op.stream = stream;
+  op.devices = std::move(devices);
+  op.base_seconds = base_seconds;
+  op.deps = std::move(deps);
+  op.fn = std::move(fn);
+  op.compute_efficiency = compute_efficiency;
+  return add(std::move(op));
+}
+
+const Op& OpGraph::op(int id) const {
+  MPIPE_EXPECTS(id >= 0 && id < size(), "op id out of range");
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+Op& OpGraph::op(int id) {
+  MPIPE_EXPECTS(id >= 0 && id < size(), "op id out of range");
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+// Builds adjacency over explicit deps plus the implicit FIFO edge from each
+// stream's previous op to the next one enqueued on the same stream.
+std::vector<std::vector<int>> combined_adjacency(const std::vector<Op>& ops,
+                                                 std::vector<int>& in_deg) {
+  std::vector<std::vector<int>> out(ops.size());
+  in_deg.assign(ops.size(), 0);
+  for (const Op& op : ops) {
+    for (int dep : op.deps) {
+      out[static_cast<std::size_t>(dep)].push_back(op.id);
+      ++in_deg[static_cast<std::size_t>(op.id)];
+    }
+  }
+  std::map<std::pair<int, int>, int> last_on_stream;  // (device, kind) -> id
+  for (const Op& op : ops) {
+    for (int device : op.devices) {
+      const auto key = std::make_pair(device, static_cast<int>(op.stream));
+      auto it = last_on_stream.find(key);
+      if (it != last_on_stream.end()) {
+        out[static_cast<std::size_t>(it->second)].push_back(op.id);
+        ++in_deg[static_cast<std::size_t>(op.id)];
+      }
+      last_on_stream[key] = op.id;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void OpGraph::validate(int num_devices) const {
+  for (const Op& op : ops_) {
+    for (int device : op.devices) {
+      MPIPE_CHECK(device >= 0 && device < num_devices,
+                  "op '" + op.label + "' references device out of range");
+    }
+    // A collective occupies each participant exactly once.
+    std::vector<int> devs = op.devices;
+    std::sort(devs.begin(), devs.end());
+    MPIPE_CHECK(std::adjacent_find(devs.begin(), devs.end()) == devs.end(),
+                "op '" + op.label + "' lists a device twice");
+  }
+  // Cycle check over the combined graph.
+  (void)topo_order();
+}
+
+std::vector<int> OpGraph::topo_order() const {
+  std::vector<int> in_deg;
+  const auto adj = combined_adjacency(ops_, in_deg);
+  EventQueue<int> ready;
+  for (const Op& op : ops_) {
+    if (in_deg[static_cast<std::size_t>(op.id)] == 0) {
+      ready.push(static_cast<double>(op.id), op.id);
+    }
+  }
+  std::vector<int> order;
+  order.reserve(ops_.size());
+  while (!ready.empty()) {
+    const int id = ready.pop();
+    order.push_back(id);
+    for (int next : adj[static_cast<std::size_t>(id)]) {
+      if (--in_deg[static_cast<std::size_t>(next)] == 0) {
+        ready.push(static_cast<double>(next), next);
+      }
+    }
+  }
+  MPIPE_CHECK(order.size() == ops_.size(),
+              "op graph has a cycle (deps conflict with stream FIFO order)");
+  return order;
+}
+
+}  // namespace mpipe::sim

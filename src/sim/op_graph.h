@@ -1,0 +1,75 @@
+#pragma once
+/// \file op_graph.h
+/// The unit of execution handed to the cluster: a DAG of operations, each
+/// bound to one stream kind on one or more devices. Layer implementations
+/// (MPipeMoE core, baselines) build one OpGraph per training step; the
+/// cluster then (1) runs the functional closures in a deterministic
+/// topological order — real tensor math — and (2) simulates the timed
+/// schedule with stream FIFO semantics and interference.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stream.h"
+
+namespace mpipe::sim {
+
+enum class OpCategory : std::uint8_t {
+  kGemm,
+  kElementwise,
+  kAllToAll,
+  kP2P,
+  kAllReduce,
+  kBroadcast,
+  kMemcpyD2H,
+  kMemcpyH2D,
+  kHostCompute,  ///< gating / dispatch bookkeeping; negligible device time
+};
+
+struct Op {
+  int id = -1;
+  std::string label;
+  OpCategory category = OpCategory::kElementwise;
+  StreamKind stream = StreamKind::kCompute;
+  /// Participating devices; collectives list the whole group, local ops one.
+  std::vector<int> devices;
+  /// Duration at full stream speed (seconds) — from the CostModel.
+  double base_seconds = 0.0;
+  /// For compute ops: achieved fraction of peak (for utilisation reports).
+  double compute_efficiency = 1.0;
+  /// Explicit dependencies (op ids). Per-stream FIFO order is implicit.
+  std::vector<int> deps;
+  /// Functional action; may be empty for timing-only graphs.
+  std::function<void()> fn;
+};
+
+class OpGraph {
+ public:
+  /// Appends an op; returns its id. Deps may reference any existing op.
+  int add(Op op);
+
+  /// Convenience builder.
+  int add(std::string label, OpCategory category, StreamKind stream,
+          std::vector<int> devices, double base_seconds,
+          std::vector<int> deps, std::function<void()> fn = nullptr,
+          double compute_efficiency = 1.0);
+
+  const Op& op(int id) const;
+  Op& op(int id);
+  int size() const { return static_cast<int>(ops_.size()); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Checks the DAG including the implicit per-stream FIFO edges; throws
+  /// CheckError on cycles, bad deps, or bad device ids.
+  void validate(int num_devices) const;
+
+  /// Deterministic topological order (Kahn, min-id first) over explicit
+  /// deps + stream FIFO edges. validate() must hold.
+  std::vector<int> topo_order() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace mpipe::sim

@@ -1,0 +1,13 @@
+#pragma once
+/// \file sim_time.h
+/// Simulated time base. All simulator timestamps and durations are double
+/// seconds; determinism comes from ordered event processing, not from the
+/// representation.
+
+namespace mpipe::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+
+}  // namespace mpipe::sim

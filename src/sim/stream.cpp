@@ -1,0 +1,14 @@
+#include "sim/stream.h"
+
+namespace mpipe::sim {
+
+std::string to_string(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kCompute: return "comp";
+    case StreamKind::kComm: return "comm";
+    case StreamKind::kMem: return "mem";
+  }
+  return "?";
+}
+
+}  // namespace mpipe::sim

@@ -1,0 +1,30 @@
+#pragma once
+/// \file stream.h
+/// Execution stream kinds. Each simulated device exposes three in-order
+/// streams, mirroring the CUDA-stream setup in the paper (Fig 7): one for
+/// expert GEMMs, one for NCCL collectives, one for PCIe memory copies.
+
+#include <cstdint>
+#include <string>
+
+namespace mpipe::sim {
+
+enum class StreamKind : std::uint8_t {
+  kCompute = 0,  ///< GEMM / elementwise kernels
+  kComm = 1,     ///< AllToAll / P2P / AllReduce
+  kMem = 2,      ///< device<->host copies (offload, prefetch)
+};
+
+inline constexpr int kNumStreamKinds = 3;
+
+std::string to_string(StreamKind kind);
+
+/// Identifies one stream in the cluster.
+struct StreamId {
+  int device = 0;
+  StreamKind kind = StreamKind::kCompute;
+
+  bool operator==(const StreamId&) const = default;
+};
+
+}  // namespace mpipe::sim

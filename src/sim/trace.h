@@ -1,0 +1,26 @@
+#pragma once
+/// \file trace.h
+/// Chrome-trace (chrome://tracing, Perfetto) export of a timed schedule —
+/// each device stream becomes a track, each op a complete event. Useful for
+/// eyeballing pipeline overlap exactly like the paper's Fig 7 timelines.
+
+#include <string>
+
+#include "sim/op_graph.h"
+#include "sim/timing_engine.h"
+
+namespace mpipe::sim {
+
+/// Serialises the schedule as Chrome trace JSON.
+std::string to_chrome_trace(const OpGraph& graph, const TimingResult& timing);
+
+/// Writes the trace to a file; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const OpGraph& graph,
+                        const TimingResult& timing);
+
+/// Renders a coarse ASCII timeline (one row per device stream) — handy in
+/// examples and debugging without leaving the terminal.
+std::string ascii_timeline(const OpGraph& graph, const TimingResult& timing,
+                           int width = 100);
+
+}  // namespace mpipe::sim

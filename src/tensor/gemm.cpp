@@ -1,0 +1,150 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace mpipe {
+
+namespace {
+
+// Panel sizes tuned for L1/L2 residence of the B panel; correctness does not
+// depend on them (the tail loops handle ragged edges).
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 128;
+constexpr std::int64_t kBlockK = 128;
+
+// Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb], all row-major panels
+// addressed inside the full matrices.
+void kernel_nn(const float* a, const float* b, float* c, std::int64_t lda,
+               std::int64_t ldb, std::int64_t ldc, std::int64_t mb,
+               std::int64_t nb, std::int64_t kb) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const float aik = a[i * lda + k];
+      if (aik == 0.0f) continue;
+      const float* brow = b + k * ldb;
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void check_2d(const Tensor& t, const char* name) {
+  MPIPE_EXPECTS(t.defined(), std::string(name) + " is null");
+  MPIPE_EXPECTS(t.shape().rank() == 2, std::string(name) + " must be 2-D");
+}
+
+}  // namespace
+
+std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return 2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(k);
+}
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_2d(a, "A");
+  check_2d(b, "B");
+  check_2d(c, "C");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  const std::int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(row_blocks),
+      [&](std::size_t bm_begin, std::size_t bm_end) {
+        for (std::size_t bm = bm_begin; bm < bm_end; ++bm) {
+          const std::int64_t i0 = static_cast<std::int64_t>(bm) * kBlockM;
+          const std::int64_t mb = std::min(kBlockM, m - i0);
+          for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::int64_t kb = std::min(kBlockK, k - k0);
+            for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+              const std::int64_t nb = std::min(kBlockN, n - j0);
+              kernel_nn(pa + i0 * k + k0, pb + k0 * n + j0, pc + i0 * n + j0,
+                        k, n, n, mb, nb, kb);
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_2d(a, "A");
+  check_2d(b, "B");
+  check_2d(c, "C");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  MPIPE_EXPECTS(b.dim(1) == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          const float* arow = pa + static_cast<std::int64_t>(i) * k;
+          float* crow = pc + static_cast<std::int64_t>(i) * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              acc += static_cast<double>(arow[kk]) * brow[kk];
+            }
+            crow[j] += static_cast<float>(acc);
+          }
+        }
+      },
+      /*grain=*/8);
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_2d(a, "A");
+  check_2d(b, "B");
+  check_2d(c, "C");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  // Parallelise over output rows (columns of A); each row of C is a
+  // reduction over the k rows of A and B, touched stride-m / stride-n.
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          float* crow = pc + static_cast<std::int64_t>(i) * n;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aki = pa[kk * m + static_cast<std::int64_t>(i)];
+            if (aki == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              crow[j] += aki * brow[j];
+            }
+          }
+        }
+      },
+      /*grain=*/8);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape{a.dim(0), b.dim(1)});
+  gemm(a, b, c);
+  return c;
+}
+
+}  // namespace mpipe

@@ -1,0 +1,29 @@
+#pragma once
+/// \file gemm.h
+/// Blocked, multithreaded single-precision GEMM variants. These carry all
+/// expert/gating compute; the cache-blocked kernel with a parallel_for over
+/// row panels keeps the functional phase fast enough for 64-device runs.
+
+#include "tensor/tensor.h"
+
+namespace mpipe {
+
+/// C = A(MxK) * B(KxN)          (+ C if accumulate)
+void gemm(const Tensor& a, const Tensor& b, Tensor& c,
+          bool accumulate = false);
+
+/// C = A(MxK) * B^T(NxK)        (+ C if accumulate)
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+
+/// C = A^T(KxM) * B(KxN)        (+ C if accumulate)
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+
+/// Returns A*B as a fresh tensor.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// FLOP count of an MxK * KxN product (2*M*N*K).
+std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k);
+
+}  // namespace mpipe

@@ -1,0 +1,254 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace mpipe {
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+void check_same_shape(const Tensor& a, const Tensor& b) {
+  MPIPE_EXPECTS(a.shape() == b.shape(), "shape mismatch: " +
+                                            a.shape().to_string() + " vs " +
+                                            b.shape().to_string());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor out = a.clone();
+  add_(out, b);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy_(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a.clone();
+  scale_(out, s);
+  return out;
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& dy, const Tensor& x) {
+  check_same_shape(dy, x);
+  Tensor out(x.shape());
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+  return out;
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float v = px[i];
+          const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
+          po[i] = 0.5f * v * (1.0f + t);
+        }
+      },
+      /*grain=*/4096);
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
+  check_same_shape(dy, x);
+  Tensor out(x.shape());
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float v = px[i];
+          const float u = kGeluC * (v + 0.044715f * v * v * v);
+          const float t = std::tanh(u);
+          const float sech2 = 1.0f - t * t;
+          const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+          po[i] = pdy[i] * (0.5f * (1.0f + t) + 0.5f * v * sech2 * du);
+        }
+      },
+      /*grain=*/4096);
+  return out;
+}
+
+void add_bias_(Tensor& x, const Tensor& bias) {
+  MPIPE_EXPECTS(x.shape().rank() == 2, "add_bias_ expects a matrix");
+  MPIPE_EXPECTS(bias.shape().rank() == 1 && bias.dim(0) == x.dim(1),
+                "bias length must equal column count");
+  float* px = x.data();
+  const float* pb = bias.data();
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = px + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += pb[c];
+  }
+}
+
+Tensor bias_backward(const Tensor& dy) {
+  MPIPE_EXPECTS(dy.shape().rank() == 2, "bias_backward expects a matrix");
+  const std::int64_t rows = dy.dim(0), cols = dy.dim(1);
+  Tensor out(Shape{cols});
+  const float* p = dy.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) po[c] += row[c];
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  MPIPE_EXPECTS(x.shape().rank() == 2, "softmax_rows expects a matrix");
+  Tensor out(x.shape());
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * cols;
+    float* o = po + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_rows_backward(const Tensor& dy, const Tensor& y) {
+  check_same_shape(dy, y);
+  MPIPE_EXPECTS(y.shape().rank() == 2, "softmax backward expects a matrix");
+  Tensor out(y.shape());
+  const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  const float* pdy = dy.data();
+  const float* py = y.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* gy = pdy + r * cols;
+    const float* yy = py + r * cols;
+    float* o = po + r * cols;
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dot += static_cast<double>(gy[c]) * yy[c];
+    }
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = yy[c] * (gy[c] - static_cast<float>(dot));
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& x) {
+  MPIPE_EXPECTS(x.shape().rank() == 2, "argmax_rows expects a matrix");
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  MPIPE_EXPECTS(cols > 0, "argmax of empty rows");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const float* px = x.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+void scale_rows_(Tensor& x, const std::vector<float>& s) {
+  MPIPE_EXPECTS(x.shape().rank() == 2, "scale_rows_ expects a matrix");
+  MPIPE_EXPECTS(static_cast<std::int64_t>(s.size()) == x.dim(0),
+                "scale vector length mismatch");
+  float* px = x.data();
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float f = s[static_cast<std::size_t>(r)];
+    float* row = px + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= f;
+  }
+}
+
+double mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const std::int64_t n = pred.numel();
+  MPIPE_EXPECTS(n > 0, "mse of empty tensor");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+Tensor mse_loss_grad(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target);
+  Tensor out(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* po = out.data();
+  const std::int64_t n = pred.numel();
+  const float inv = 2.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) po[i] = inv * (pp[i] - pt[i]);
+  return out;
+}
+
+}  // namespace mpipe

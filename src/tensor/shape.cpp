@@ -1,0 +1,62 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  MPIPE_EXPECTS(dims.size() <= kMaxRank, "rank too large");
+  for (std::int64_t d : dims) {
+    MPIPE_EXPECTS(d >= 0, "negative dimension");
+    dims_[rank_++] = d;
+  }
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  MPIPE_EXPECTS(i < rank_, "dimension index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::int64_t Shape::stride(std::size_t i) const {
+  MPIPE_EXPECTS(i < rank_, "dimension index out of range");
+  std::int64_t s = 1;
+  for (std::size_t j = i + 1; j < rank_; ++j) s *= dims_[j];
+  return s;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+Shape Shape::with_dim(std::size_t i, std::int64_t value) const {
+  MPIPE_EXPECTS(i < rank_, "dimension index out of range");
+  MPIPE_EXPECTS(value >= 0, "negative dimension");
+  Shape s = *this;
+  s.dims_[i] = value;
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace mpipe

@@ -1,0 +1,42 @@
+#pragma once
+/// \file shape.h
+/// Row-major tensor shapes (rank <= 4 covers everything in MoE training).
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace mpipe {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  std::size_t rank() const { return rank_; }
+  std::int64_t dim(std::size_t i) const;
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  /// Row-major stride of dimension i (elements).
+  std::int64_t stride(std::size_t i) const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Returns a shape with dimension `i` replaced.
+  Shape with_dim(std::size_t i, std::int64_t value) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace mpipe

@@ -1,0 +1,152 @@
+// Algorithm 1: the RangeSet semantics and the GranularitySearcher's
+// cache / range / trial behaviour, including monotonicity enforcement.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "core/granularity_search.h"
+
+namespace mpipe::core {
+namespace {
+
+using mpipe::CheckError;
+
+TEST(RangeSet, FindOnEmptyReturnsNothing) {
+  RangeSet s;
+  EXPECT_FALSE(s.find(100).has_value());
+}
+
+TEST(RangeSet, PointInsertAndLookup) {
+  RangeSet s;
+  s.record(100, 2);
+  EXPECT_EQ(s.find(100).value(), 2);
+  EXPECT_FALSE(s.find(99).has_value());
+  EXPECT_FALSE(s.find(101).has_value());
+}
+
+TEST(RangeSet, ExtensionMergesBatchSizes) {
+  RangeSet s;
+  s.record(100, 2);
+  s.record(300, 2);
+  EXPECT_EQ(s.find(200).value(), 2);  // interior of the widened range
+  const auto range = s.range_of(2).value();
+  EXPECT_EQ(range.lower, 100);
+  EXPECT_EQ(range.upper, 300);
+}
+
+TEST(RangeSet, DisjointRangesForDifferentN) {
+  RangeSet s;
+  s.record(100, 2);
+  s.record(1000, 4);
+  s.record(5000, 8);
+  EXPECT_EQ(s.find(100).value(), 2);
+  EXPECT_EQ(s.find(1000).value(), 4);
+  EXPECT_EQ(s.find(5000).value(), 8);
+  EXPECT_FALSE(s.find(400).has_value());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(RangeSet, RecordInsideExistingRangeMustAgree) {
+  RangeSet s;
+  s.record(100, 2);
+  s.record(300, 2);
+  EXPECT_NO_THROW(s.record(200, 2));
+  EXPECT_THROW(s.record(200, 4), CheckError);
+}
+
+TEST(RangeSet, MonotonicityViolationDetected) {
+  RangeSet s;
+  s.record(100, 2);
+  s.record(500, 4);
+  // Extending n=2 to 600 would swallow n=4's range.
+  EXPECT_THROW(s.record(600, 2), CheckError);
+}
+
+TEST(Searcher, FullSearchPicksArgmin) {
+  // Trial cost: minimised at n = 4 for every B.
+  int trials = 0;
+  GranularitySearcher searcher({1, 2, 4, 8}, [&](std::int64_t, int n) {
+    ++trials;
+    return std::abs(n - 4) + 1.0;
+  });
+  EXPECT_EQ(searcher.configure(1000), 4);
+  EXPECT_EQ(trials, 4);
+  EXPECT_EQ(searcher.stats().full_searches, 1u);
+}
+
+TEST(Searcher, CacheHitOnRepeatedB) {
+  int trials = 0;
+  GranularitySearcher searcher({1, 2}, [&](std::int64_t, int) {
+    ++trials;
+    return 1.0;
+  });
+  searcher.configure(64);
+  const int before = trials;
+  searcher.configure(64);
+  EXPECT_EQ(trials, before);
+  EXPECT_EQ(searcher.stats().cache_hits, 1u);
+}
+
+TEST(Searcher, RangeHitAvoidsTrialsForInteriorB) {
+  // Optimal n follows a step function of B (monotone).
+  auto oracle = [](std::int64_t b) { return b < 1000 ? 1 : 2; };
+  int trials = 0;
+  GranularitySearcher searcher({1, 2}, [&](std::int64_t b, int n) {
+    ++trials;
+    return n == oracle(b) ? 1.0 : 2.0;
+  });
+  searcher.configure(100);
+  searcher.configure(900);
+  const int before = trials;
+  EXPECT_EQ(searcher.configure(500), 1);  // inside [100, 900]
+  EXPECT_EQ(trials, before);
+  EXPECT_EQ(searcher.stats().range_hits, 1u);
+}
+
+TEST(Searcher, SkipsPartitionsLargerThanBatch) {
+  std::vector<int> tried;
+  GranularitySearcher searcher({1, 2, 8}, [&](std::int64_t, int n) {
+    tried.push_back(n);
+    return static_cast<double>(n);
+  });
+  searcher.configure(4);
+  EXPECT_EQ(tried, (std::vector<int>{1, 2}));  // n=8 > B=4 skipped
+}
+
+TEST(Searcher, RejectsDegenerateInputs) {
+  EXPECT_THROW(
+      GranularitySearcher({}, [](std::int64_t, int) { return 1.0; }),
+      CheckError);
+  EXPECT_THROW(GranularitySearcher({0}, [](std::int64_t, int) {
+                 return 1.0;
+               }),
+               CheckError);
+  GranularitySearcher ok({1}, [](std::int64_t, int) { return 1.0; });
+  EXPECT_THROW(ok.configure(0), CheckError);
+}
+
+TEST(Searcher, MonotoneTraceBuildsCompactRangeSet) {
+  auto oracle = [](std::int64_t b) {
+    if (b < 8000) return 2;
+    if (b < 22000) return 4;
+    return 8;
+  };
+  GranularitySearcher searcher({1, 2, 4, 8},
+                               [&](std::int64_t b, int n) {
+                                 return n == oracle(b) ? 1.0 : 2.0;
+                               });
+  for (std::int64_t b = 4000; b <= 31000; b += 1000) {
+    EXPECT_EQ(searcher.configure(b), oracle(b)) << "B=" << b;
+  }
+  EXPECT_EQ(searcher.ranges().size(), 3u);
+  // Re-sweeping costs zero trials (all cache hits).
+  const auto trials_before = searcher.stats().trials;
+  for (std::int64_t b = 4000; b <= 31000; b += 1000) {
+    searcher.configure(b);
+  }
+  EXPECT_EQ(searcher.stats().trials, trials_before);
+}
+
+}  // namespace
+}  // namespace mpipe::core

@@ -1,0 +1,225 @@
+// Baseline correctness and the qualitative orderings the paper reports:
+// FastMoE and FasterMoE produce the same numbers as MPipeMoE (same seed →
+// same parameters), PipeMoE beats both in simulated time, FasterMoE uses
+// more memory than FastMoE once shadowing replicates experts.
+
+#include <gtest/gtest.h>
+
+#include "baselines/fastermoe.h"
+#include "baselines/fastmoe.h"
+#include "core/moe_layer.h"
+#include "tensor/random_init.h"
+
+namespace mpipe {
+namespace {
+
+std::vector<Tensor> make_inputs(int devices, std::int64_t tokens,
+                                std::int64_t d_model, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (int d = 0; d < devices; ++d) {
+    inputs.push_back(random_tokens(tokens, d_model, rng));
+  }
+  return inputs;
+}
+
+TEST(Baselines, FastMoEMatchesMPipeMoEForward) {
+  sim::Cluster c1 = sim::Cluster::dgx_a100_pod(1, 4);
+  sim::Cluster c2 = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoELayerOptions mo;
+  mo.d_model = 12;
+  mo.d_hidden = 24;
+  mo.num_experts = 8;
+  mo.num_partitions = 4;
+  mo.memory_reuse = true;
+  mo.strategy = core::ReuseStrategy::kS3;
+  mo.seed = 5;
+  core::MoELayer mpipe_layer(c1, mo);
+
+  baselines::FastMoEOptions fo;
+  fo.d_model = 12;
+  fo.d_hidden = 24;
+  fo.num_experts = 8;
+  fo.seed = 5;
+  baselines::FastMoELayer fast(c2, fo);
+
+  auto inputs = make_inputs(4, 21, 12, 31);
+  auto a = mpipe_layer.forward(inputs);
+  auto b = fast.forward(inputs);
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    EXPECT_LT(max_abs_diff(a[d], b[d]), 2e-5f) << "device " << d;
+  }
+}
+
+TEST(Baselines, FasterMoEMatchesMPipeMoEForwardAndBackward) {
+  sim::Cluster c1 = sim::Cluster::dgx_a100_pod(1, 4);
+  sim::Cluster c2 = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoELayerOptions mo;
+  mo.d_model = 12;
+  mo.d_hidden = 24;
+  mo.num_experts = 8;
+  mo.num_partitions = 2;
+  mo.memory_reuse = false;
+  mo.seed = 5;
+  core::MoELayer mpipe_layer(c1, mo);
+
+  baselines::FasterMoEOptions fo;
+  fo.d_model = 12;
+  fo.d_hidden = 24;
+  fo.num_experts = 8;
+  fo.seed = 5;
+  baselines::FasterMoELayer faster(c2, fo);
+
+  auto inputs = make_inputs(4, 19, 12, 77);
+  auto a = mpipe_layer.forward(inputs);
+  auto b = faster.forward(inputs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    EXPECT_LT(max_abs_diff(a[d], b[d]), 2e-5f) << "fwd device " << d;
+  }
+  std::vector<Tensor> grads;
+  Rng rng(9);
+  for (auto& out : a) {
+    Tensor g(out.shape());
+    init_normal(g, rng, 1.0f);
+    grads.push_back(g);
+  }
+  auto da = mpipe_layer.backward(grads);
+  auto db = faster.backward(grads);
+  for (std::size_t d = 0; d < da.size(); ++d) {
+    EXPECT_LT(max_abs_diff(da[d], db[d]), 1e-5f) << "bwd device " << d;
+  }
+}
+
+TEST(Baselines, PipeMoEFasterThanBaselinesAtPaperScale) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(8, 8);
+  core::MoELayerOptions po;
+  po.d_model = 2048;
+  po.d_hidden = 8192;
+  po.num_experts = 64;
+  po.num_partitions = 0;  // adaptive
+  po.memory_reuse = false;
+  po.mode = core::ExecutionMode::kTimingOnly;
+  core::MoELayer pipemoe(cluster, po);
+
+  baselines::FastMoEOptions fo;
+  fo.d_model = 2048;
+  fo.d_hidden = 8192;
+  fo.num_experts = 64;
+  fo.mode = core::ExecutionMode::kTimingOnly;
+  baselines::FastMoELayer fastmoe(cluster, fo);
+
+  baselines::FasterMoEOptions ro;
+  ro.d_model = 2048;
+  ro.d_hidden = 8192;
+  ro.num_experts = 64;
+  ro.mode = core::ExecutionMode::kTimingOnly;
+  baselines::FasterMoELayer fastermoe(cluster, ro);
+
+  const std::int64_t b = 8192;
+  const double t_pipe = pipemoe.step_timing(b).step_seconds();
+  const double t_fast = fastmoe.step_timing(b).step_seconds();
+  const double t_faster = fastermoe.step_timing(b).step_seconds();
+  EXPECT_LT(t_pipe, t_faster);
+  EXPECT_LT(t_faster, t_fast);  // FasterMoE's pipeline beats FastMoE
+}
+
+TEST(Baselines, FasterMoEShadowingUsesMoreMemoryThanFastMoE) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(2, 4);
+  baselines::FastMoEOptions fo;
+  fo.d_model = 1024;
+  fo.d_hidden = 4096;
+  fo.num_experts = 64;
+  fo.mode = core::ExecutionMode::kTimingOnly;
+  baselines::FastMoELayer fastmoe(cluster, fo);
+
+  baselines::FasterMoEOptions ro;
+  ro.d_model = 1024;
+  ro.d_hidden = 4096;
+  ro.num_experts = 64;
+  ro.mode = core::ExecutionMode::kTimingOnly;
+  ro.shadowing.enabled = true;
+  ro.shadowing.threshold = 1.2;
+  baselines::FasterMoELayer fastermoe(cluster, ro);
+
+  // Skewed routing makes device 0 hot, triggering shadowing.
+  const auto fast_mem = fastmoe.step_timing(4096, 0.4).memory.total_peak;
+  const auto faster_mem = fastermoe.step_timing(4096, 0.4).memory.total_peak;
+  EXPECT_GT(faster_mem, fast_mem);
+}
+
+TEST(Shadowing, SelectsHotDestinationsOnly) {
+  baselines::ShadowingConfig cfg;
+  cfg.threshold = 1.5;
+  const auto none =
+      baselines::select_shadowed({100, 100, 100, 100}, cfg);
+  EXPECT_TRUE(none.shadowed.empty());
+
+  const auto one = baselines::select_shadowed({400, 100, 100, 100}, cfg);
+  ASSERT_EQ(one.shadowed.size(), 1u);
+  EXPECT_EQ(one.shadowed[0], 0);
+  EXPECT_TRUE(one.is_shadowed(0));
+  EXPECT_FALSE(one.is_shadowed(1));
+}
+
+TEST(Shadowing, RespectsMaxShadowedAndDisabled) {
+  baselines::ShadowingConfig cfg;
+  cfg.threshold = 1.01;
+  cfg.max_shadowed = 2;
+  const auto capped =
+      baselines::select_shadowed({500, 400, 300, 1, 1, 1}, cfg);
+  EXPECT_LE(capped.shadowed.size(), 2u);
+
+  cfg.enabled = false;
+  const auto off = baselines::select_shadowed({500, 400, 300, 1}, cfg);
+  EXPECT_TRUE(off.shadowed.empty());
+}
+
+TEST(Shadowing, BytesScaleWithExpertSize) {
+  const auto small = baselines::shadow_bytes_per_destination(256, 1024, 1);
+  const auto big = baselines::shadow_bytes_per_destination(512, 2048, 1);
+  EXPECT_EQ(big, small * 4);
+  const auto two = baselines::shadow_bytes_per_destination(256, 1024, 2);
+  EXPECT_EQ(two, small * 2);
+}
+
+TEST(Baselines, HeterogeneousBandwidthHurtsFasterMoEMore) {
+  // §III-B: FasterMoE's per-partition synchronisation wastes the fast
+  // workers' bandwidth when links are heterogeneous; the fused AllToAll
+  // pays the bottleneck once.
+  sim::ClusterConfig slow_cfg;
+  slow_cfg.topology.num_devices = 8;
+  slow_cfg.topology.devices_per_node = 8;
+  slow_cfg.topology.device_bw_scale = {1.0, 1.0, 1.0, 1.0,
+                                       1.0, 1.0, 1.0, 0.4};
+  sim::Cluster hetero(slow_cfg);
+  sim::Cluster homo = sim::Cluster::dgx_a100_pod(1, 8);
+
+  auto pipe_time = [&](sim::Cluster& cluster) {
+    core::MoELayerOptions o;
+    o.d_model = 2048;
+    o.d_hidden = 8192;
+    o.num_experts = 64;
+    o.num_partitions = 4;
+    o.memory_reuse = false;
+    o.mode = core::ExecutionMode::kTimingOnly;
+    core::MoELayer layer(cluster, o);
+    return layer.step_timing(8192).step_seconds();
+  };
+  auto faster_time = [&](sim::Cluster& cluster) {
+    baselines::FasterMoEOptions o;
+    o.d_model = 2048;
+    o.d_hidden = 8192;
+    o.num_experts = 64;
+    o.mode = core::ExecutionMode::kTimingOnly;
+    o.shadowing.enabled = false;
+    baselines::FasterMoELayer layer(cluster, o);
+    return layer.step_timing(8192).step_seconds();
+  };
+  const double pipe_slowdown = pipe_time(hetero) / pipe_time(homo);
+  const double faster_slowdown = faster_time(hetero) / faster_time(homo);
+  EXPECT_GT(faster_slowdown, pipe_slowdown * 0.99);
+}
+
+}  // namespace
+}  // namespace mpipe

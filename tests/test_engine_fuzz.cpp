@@ -1,0 +1,176 @@
+// Randomized property tests of the discrete-event engine: for arbitrary
+// valid DAGs over arbitrary clusters, core invariants must hold — complete
+// execution, dependency and FIFO ordering in simulated time, busy-time
+// bounds, critical-path lower bound, interference never speeding things
+// up, and replay determinism.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "sim/cluster.h"
+
+namespace mpipe::sim {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  int devices;
+  int ops;
+};
+
+OpGraph random_graph(const FuzzCase& c, Rng& rng) {
+  OpGraph g;
+  for (int i = 0; i < c.ops; ++i) {
+    Op op;
+    op.label = "op" + std::to_string(i);
+    op.stream = static_cast<StreamKind>(rng.uniform_index(3));
+    op.base_seconds = rng.uniform(1e-5, 1e-3);
+    if (op.stream == StreamKind::kComm && rng.uniform() < 0.3 &&
+        c.devices >= 2) {
+      // Collective over a random contiguous device group.
+      const int lo = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(c.devices - 1)));
+      const int hi =
+          lo + 1 +
+          static_cast<int>(rng.uniform_index(
+              static_cast<std::uint64_t>(c.devices - lo - 1)));
+      for (int d = lo; d <= hi; ++d) op.devices.push_back(d);
+      op.category = OpCategory::kAllToAll;
+    } else {
+      op.devices = {static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(c.devices)))};
+      op.category = op.stream == StreamKind::kCompute
+                        ? OpCategory::kGemm
+                        : OpCategory::kMemcpyD2H;
+      op.compute_efficiency = rng.uniform(0.2, 1.0);
+    }
+    // Backward-only deps keep the explicit-dependency graph acyclic; the
+    // combined (deps + FIFO) graph is then acyclic too because FIFO edges
+    // also point forward in insertion order.
+    const int max_deps = std::min(i, 3);
+    for (int k = 0; k < max_deps; ++k) {
+      if (rng.uniform() < 0.3) {
+        op.deps.push_back(static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(i))));
+      }
+    }
+    std::sort(op.deps.begin(), op.deps.end());
+    op.deps.erase(std::unique(op.deps.begin(), op.deps.end()),
+                  op.deps.end());
+    g.add(std::move(op));
+  }
+  return g;
+}
+
+class EngineFuzz : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(EngineFuzz, InvariantsHoldOnRandomGraphs) {
+  const FuzzCase c = GetParam();
+  Rng rng(c.seed);
+  OpGraph g = random_graph(c, rng);
+  Cluster cluster = Cluster::dgx_a100_pod(
+      std::max(1, c.devices / 4), std::min(4, c.devices));
+  const TimingResult t = cluster.time_only(g);
+
+  // 1. Everything ran, with non-negative durations.
+  double sum_durations = 0.0;
+  for (const Op& op : g.ops()) {
+    const auto& ot = t.op_times[static_cast<std::size_t>(op.id)];
+    ASSERT_TRUE(ot.started()) << op.label;
+    ASSERT_GE(ot.end, ot.start);
+    // Interference can only slow ops down, never below base duration.
+    EXPECT_GE(ot.end - ot.start, op.base_seconds - 1e-12) << op.label;
+    sum_durations += ot.end - ot.start;
+    EXPECT_LE(ot.end, t.makespan + 1e-12);
+  }
+
+  // 2. Dependencies respected in simulated time.
+  for (const Op& op : g.ops()) {
+    for (int dep : op.deps) {
+      EXPECT_GE(t.op_times[static_cast<std::size_t>(op.id)].start,
+                t.op_times[static_cast<std::size_t>(dep)].end - 1e-12)
+          << op.label << " started before dep " << dep << " finished";
+    }
+  }
+
+  // 3. Stream FIFO: per (device, kind), ops execute in insertion order
+  //    without overlap.
+  std::map<std::pair<int, int>, double> last_end;
+  for (const Op& op : g.ops()) {
+    const auto& ot = t.op_times[static_cast<std::size_t>(op.id)];
+    for (int d : op.devices) {
+      auto key = std::make_pair(d, static_cast<int>(op.stream));
+      auto it = last_end.find(key);
+      if (it != last_end.end()) {
+        EXPECT_GE(ot.start, it->second - 1e-12)
+            << "FIFO violated on device " << d;
+      }
+      last_end[key] = ot.end;
+    }
+  }
+
+  // 4. Busy-time accounting: per stream, busy <= makespan; total busy
+  //    equals the sum of op durations over their devices.
+  double total_busy = 0.0;
+  for (int d = 0; d < cluster.num_devices(); ++d) {
+    for (int k = 0; k < kNumStreamKinds; ++k) {
+      const double busy = t.stream_busy(d, static_cast<StreamKind>(k));
+      EXPECT_GE(busy, -1e-12);
+      EXPECT_LE(busy, t.makespan + 1e-9);
+      total_busy += busy;
+    }
+    EXPECT_GE(t.compute_utilization(d), 0.0);
+    EXPECT_LE(t.compute_utilization(d), 1.0 + 1e-9);
+  }
+  double expected_busy = 0.0;
+  for (const Op& op : g.ops()) {
+    const auto& ot = t.op_times[static_cast<std::size_t>(op.id)];
+    expected_busy += (ot.end - ot.start) *
+                     static_cast<double>(op.devices.size());
+  }
+  EXPECT_NEAR(total_busy, expected_busy, 1e-6 * std::max(1.0, expected_busy));
+
+  // 5. Makespan bounds: at least the longest single op, at most the sum
+  //    of all durations (full serialization).
+  double longest = 0.0;
+  for (const Op& op : g.ops()) longest = std::max(longest, op.base_seconds);
+  EXPECT_GE(t.makespan, longest - 1e-12);
+  EXPECT_LE(t.makespan, sum_durations + 1e-9);
+
+  // 6. Determinism: replay gives bit-identical timings.
+  Rng rng2(c.seed);
+  OpGraph g2 = random_graph(c, rng2);
+  const TimingResult t2 = cluster.time_only(g2);
+  ASSERT_EQ(t.op_times.size(), t2.op_times.size());
+  for (std::size_t i = 0; i < t.op_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.op_times[i].start, t2.op_times[i].start);
+    EXPECT_DOUBLE_EQ(t.op_times[i].end, t2.op_times[i].end);
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  std::uint64_t seed = 1000;
+  for (int devices : {1, 2, 4, 8}) {
+    for (int ops : {5, 30, 120}) {
+      cases.push_back({seed++, devices, ops});
+      cases.push_back({seed++, devices, ops});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EngineFuzz, testing::ValuesIn(fuzz_cases()),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param.seed) +
+                                  "d" + std::to_string(info.param.devices) +
+                                  "o" + std::to_string(info.param.ops);
+                         });
+
+}  // namespace
+}  // namespace mpipe::sim

@@ -1,0 +1,240 @@
+// Memory subsystem (tracker, allocator RAII, OOM, ring pools, staging) and
+// the functional collectives (byte-exact movement, reductions).
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "comm/all_to_all.h"
+#include "comm/collectives.h"
+#include "comm/p2p.h"
+#include "mem/buffer_pool.h"
+#include "mem/device_allocator.h"
+#include "mem/host_staging.h"
+#include "tensor/random_init.h"
+
+namespace mpipe {
+namespace {
+
+using mem::Category;
+
+TEST(MemoryTracker, PeaksTrackConcurrentTotals) {
+  mem::MemoryTracker t;
+  t.allocate(Category::kActivation, 100);
+  t.allocate(Category::kTempBuffer, 50);
+  EXPECT_EQ(t.peak_total(), 150u);
+  t.release(Category::kActivation, 100);
+  t.allocate(Category::kTempBuffer, 60);
+  // Peak of the sum (150) != sum of category peaks (100 + 110).
+  EXPECT_EQ(t.peak_total(), 150u);
+  EXPECT_EQ(t.peak(Category::kTempBuffer), 110u);
+  EXPECT_EQ(t.current_total(), 110u);
+}
+
+TEST(MemoryTracker, UnderflowThrows) {
+  mem::MemoryTracker t;
+  t.allocate(Category::kComm, 10);
+  EXPECT_THROW(t.release(Category::kComm, 20), CheckError);
+  EXPECT_THROW(t.release(Category::kActivation, 1), CheckError);
+}
+
+TEST(MemoryTracker, ResetPeaksKeepsCurrent) {
+  mem::MemoryTracker t;
+  t.allocate(Category::kActivation, 100);
+  t.release(Category::kActivation, 60);
+  t.reset_peaks();
+  EXPECT_EQ(t.peak(Category::kActivation), 40u);
+  EXPECT_EQ(t.current(Category::kActivation), 40u);
+}
+
+TEST(DeviceAllocator, RaiiReleasesOnDestruction) {
+  mem::DeviceAllocator alloc(0);
+  {
+    auto a = alloc.allocate(Category::kActivation, 100);
+    EXPECT_EQ(alloc.tracker().current_total(), 100u);
+    auto moved = std::move(a);
+    EXPECT_EQ(alloc.tracker().current_total(), 100u);
+  }
+  EXPECT_EQ(alloc.tracker().current_total(), 0u);
+  EXPECT_EQ(alloc.tracker().peak_total(), 100u);
+}
+
+TEST(DeviceAllocator, CapacityEnforced) {
+  mem::DeviceAllocator alloc(0, 1000);
+  auto a = alloc.allocate(Category::kActivation, 800);
+  EXPECT_THROW(alloc.allocate(Category::kActivation, 300),
+               mem::OutOfMemoryError);
+  a.release();
+  EXPECT_NO_THROW(alloc.allocate(Category::kActivation, 300));
+}
+
+TEST(DeviceAllocator, VirtualTensorsAccountWithoutStorage) {
+  mem::DeviceAllocator alloc(0);
+  auto t = alloc.alloc_tensor(Shape{1024, 1024}, Category::kActivation,
+                              /*materialize=*/false);
+  EXPECT_FALSE(t.tensor.defined());
+  EXPECT_EQ(alloc.tracker().current_total(), 4u * 1024 * 1024);
+}
+
+TEST(BufferPool, SlotAliasingFollowsDepth) {
+  mem::DeviceAllocator alloc(0);
+  mem::BufferPool pool(alloc, "tdi", Shape{8, 4}, 2, Category::kActivation);
+  EXPECT_TRUE(pool.aliases(0, 2));
+  EXPECT_TRUE(pool.aliases(1, 3));
+  EXPECT_FALSE(pool.aliases(0, 1));
+  pool.slot(0).fill(7.0f);
+  EXPECT_FLOAT_EQ(pool.slot(2).at(0, 0), 7.0f);  // same physical slot
+  EXPECT_FLOAT_EQ(pool.slot(1).at(0, 0), 0.0f);
+  EXPECT_EQ(pool.bytes(), 2u * 8 * 4 * 4);
+}
+
+TEST(BufferPool, AccountingOnlyPoolRefusesSlotAccess) {
+  mem::DeviceAllocator alloc(0);
+  mem::BufferPool pool(alloc, "d_tm", Shape{8, 4}, 1, Category::kTempBuffer,
+                       /*materialize=*/false);
+  EXPECT_EQ(alloc.tracker().current(Category::kTempBuffer), 8u * 4 * 4);
+  EXPECT_THROW(pool.slot(0), CheckError);
+}
+
+TEST(HostStaging, RoundTripIsByteExact) {
+  mem::HostStaging staging;
+  Rng rng(4);
+  Tensor t(Shape{5, 3});
+  init_normal(t, rng, 1.0f);
+  staging.store(1, "tdi:p0", t);
+  EXPECT_TRUE(staging.contains(1, "tdi:p0"));
+  EXPECT_FALSE(staging.contains(0, "tdi:p0"));
+  Tensor back = staging.load(1, "tdi:p0");
+  EXPECT_FLOAT_EQ(max_abs_diff(t, back), 0.0f);
+  staging.drop(1, "tdi:p0");
+  EXPECT_THROW(staging.load(1, "tdi:p0"), CheckError);
+  EXPECT_EQ(staging.bytes_stored(), 0u);
+}
+
+TEST(HostStaging, OverwriteAdjustsBytes) {
+  mem::HostStaging staging;
+  staging.store(0, "k", Tensor(Shape{10}));
+  staging.store(0, "k", Tensor(Shape{20}));
+  EXPECT_EQ(staging.bytes_stored(), 80u);
+  staging.clear_device(0);
+  EXPECT_EQ(staging.entries(), 0u);
+}
+
+// ---- collectives -----------------------------------------------------------
+
+TEST(CommAllToAll, SegmentsMoveBytesExactly) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 2);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  Rng rng(1);
+  Tensor src0(Shape{4, 2}), src1(Shape{4, 2});
+  init_normal(src0, rng, 1.0f);
+  init_normal(src1, rng, 1.0f);
+  Tensor dst0(Shape{4, 2}), dst1(Shape{4, 2});
+
+  std::vector<comm::RowSegment> segs;
+  // Device 0 keeps rows 0-1, sends rows 2-3 to device 1; device 1 mirrors.
+  segs.push_back({0, &src0, 0, 0, &dst0, 0, 2});
+  segs.push_back({0, &src0, 2, 1, &dst1, 0, 2});
+  segs.push_back({1, &src1, 0, 0, &dst0, 2, 2});
+  segs.push_back({1, &src1, 2, 1, &dst1, 2, 2});
+  EXPECT_EQ(comm::max_bytes_sent(segs), 2u * 2 * 4);
+
+  sim::OpGraph g;
+  comm::alltoall(g, world, segs, "a2a", {});
+  cluster.run(g);
+  EXPECT_FLOAT_EQ(max_abs_diff(dst0.slice_rows(0, 2), src0.slice_rows(0, 2)),
+                  0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(dst1.slice_rows(0, 2), src0.slice_rows(2, 4)),
+                  0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(dst0.slice_rows(2, 4), src1.slice_rows(0, 2)),
+                  0.0f);
+}
+
+TEST(CommAllReduce, SumsAcrossRanks) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 3);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  std::vector<Tensor> grads;
+  for (int d = 0; d < 3; ++d) {
+    grads.push_back(Tensor::full(Shape{4}, static_cast<float>(d + 1)));
+  }
+  sim::OpGraph g;
+  comm::allreduce_sum(g, world, {&grads[0], &grads[1], &grads[2]}, "ar", {});
+  cluster.run(g);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(grads[static_cast<std::size_t>(d)].at(0), 6.0f);
+  }
+}
+
+TEST(CommBroadcast, CopiesRootToAll) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 3);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  std::vector<Tensor> weights;
+  for (int d = 0; d < 3; ++d) {
+    weights.push_back(Tensor::full(Shape{4}, static_cast<float>(d)));
+  }
+  sim::OpGraph g;
+  comm::broadcast(g, world, 1, {&weights[0], &weights[1], &weights[2]},
+                  "bc", {});
+  cluster.run(g);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(weights[static_cast<std::size_t>(d)].at(2), 1.0f);
+  }
+}
+
+TEST(CommAllGather, ConcatenatesRows) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 2);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  Tensor in0 = Tensor::full(Shape{1, 2}, 1.0f);
+  Tensor in1 = Tensor::full(Shape{2, 2}, 2.0f);
+  Tensor out0(Shape{3, 2}), out1(Shape{3, 2});
+  sim::OpGraph g;
+  comm::allgather_rows(g, world, {&in0, &in1}, {&out0, &out1}, "ag", {});
+  cluster.run(g);
+  EXPECT_FLOAT_EQ(out0.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out0.at(2, 1), 2.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(out0, out1), 0.0f);
+}
+
+TEST(CommP2P, MultiSegmentTransfer) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 2);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  Rng rng(3);
+  Tensor src(Shape{6, 2});
+  init_normal(src, rng, 1.0f);
+  Tensor dst(Shape{6, 2});
+  std::vector<comm::RowSegment> segs;
+  segs.push_back({0, &src, 0, 1, &dst, 4, 2});
+  segs.push_back({0, &src, 4, 1, &dst, 0, 2});
+  sim::OpGraph g;
+  comm::send_recv_multi(g, world, segs, "p2p", {});
+  cluster.run(g);
+  EXPECT_FLOAT_EQ(max_abs_diff(dst.slice_rows(4, 6), src.slice_rows(0, 2)),
+                  0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(dst.slice_rows(0, 2), src.slice_rows(4, 6)),
+                  0.0f);
+}
+
+TEST(CommP2P, MismatchedEndpointsRejected) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 3);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  Tensor a(Shape{2, 2}), b(Shape{2, 2});
+  std::vector<comm::RowSegment> segs;
+  segs.push_back({0, &a, 0, 1, &b, 0, 1});
+  segs.push_back({0, &a, 1, 2, &b, 1, 1});  // different dst
+  sim::OpGraph g;
+  EXPECT_THROW(comm::send_recv_multi(g, world, segs, "bad", {}), CheckError);
+}
+
+TEST(ProcessGroup, RankMappingAndValidation) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  comm::ProcessGroup pg(cluster, {2, 0, 3});
+  EXPECT_EQ(pg.size(), 3);
+  EXPECT_EQ(pg.device_of_rank(0), 2);
+  EXPECT_EQ(pg.rank_of_device(3), 2);
+  EXPECT_THROW(pg.rank_of_device(1), CheckError);
+  EXPECT_THROW(comm::ProcessGroup(cluster, {0, 0}), CheckError);
+  EXPECT_THROW(comm::ProcessGroup(cluster, {9}), CheckError);
+}
+
+}  // namespace
+}  // namespace mpipe

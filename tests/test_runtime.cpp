@@ -1,0 +1,226 @@
+// Training runtime: Adam math vs a hand-computed step, end-to-end loss
+// descent under every strategy, dynamic batch sizes exercising Algorithm 1
+// inside a real training loop, and the common utility layer.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "runtime/adam.h"
+#include "runtime/model_zoo.h"
+#include "runtime/trainer.h"
+#include "runtime/workload.h"
+
+namespace mpipe {
+namespace {
+
+TEST(Adam, MatchesHandComputedFirstStep) {
+  Tensor w = Tensor::full(Shape{1}, 1.0f);
+  Tensor g = Tensor::full(Shape{1}, 0.5f);
+  runtime::AdamOptions opt;
+  opt.lr = 0.1f;
+  runtime::Adam adam({&w}, {&g}, opt);
+  adam.step();
+  // Bias-corrected first step: m_hat = g, v_hat = g^2 -> update = lr * g /
+  // (|g| + eps) ~= lr.
+  EXPECT_NEAR(w.at(0), 1.0f - 0.1f, 1e-4f);
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_EQ(adam.state_bytes(), 2u * 4);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  Tensor w = Tensor::full(Shape{1}, 1.0f);
+  Tensor g = Tensor::full(Shape{1}, 0.0f);
+  runtime::AdamOptions opt;
+  opt.lr = 0.1f;
+  opt.weight_decay = 0.1f;
+  runtime::Adam adam({&w}, {&g}, opt);
+  adam.step();
+  EXPECT_LT(w.at(0), 1.0f);
+}
+
+TEST(Adam, ValidatesBindings) {
+  Tensor w(Shape{2});
+  Tensor g(Shape{3});
+  EXPECT_THROW(runtime::Adam({&w}, {&g}), CheckError);
+  EXPECT_THROW(runtime::Adam({&w}, {}), CheckError);
+}
+
+struct TrainCase {
+  int partitions;
+  bool reuse;
+  core::ReuseStrategy strategy;
+};
+
+class TrainingDescent : public testing::TestWithParam<TrainCase> {};
+
+TEST_P(TrainingDescent, LossDecreasesOverSteps) {
+  const auto& c = GetParam();
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoELayerOptions o;
+  o.d_model = 16;
+  o.d_hidden = 32;
+  o.num_experts = 4;
+  o.num_partitions = c.partitions;
+  o.memory_reuse = c.reuse;
+  if (c.reuse) o.strategy = c.strategy;
+  o.seed = 31;
+  core::MoELayer layer(cluster, o);
+
+  runtime::TrainerOptions topt;
+  topt.workload.d_model = 16;
+  topt.workload.tokens_per_device = 32;
+  topt.workload.num_devices = 4;
+  topt.workload.seed = 5;
+  topt.adam.lr = 3e-3f;
+  topt.steps = 12;
+  runtime::Trainer trainer(layer, topt);
+  const auto& metrics = trainer.run();
+  EXPECT_LT(metrics.last_loss(), metrics.first_loss() * 0.9)
+      << metrics.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TrainingDescent,
+    testing::Values(TrainCase{1, false, core::ReuseStrategy::kNone},
+                    TrainCase{2, false, core::ReuseStrategy::kNone},
+                    TrainCase{2, true, core::ReuseStrategy::kS1},
+                    TrainCase{4, true, core::ReuseStrategy::kS4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.partitions) +
+             (info.param.reuse ? core::to_string(info.param.strategy)
+                               : std::string("raw"));
+    });
+
+TEST(TrainingAdaptive, DynamicBatchesReuseSearchState) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoELayerOptions o;
+  o.d_model = 16;
+  o.d_hidden = 32;
+  o.num_experts = 4;
+  o.num_partitions = 0;  // adaptive
+  o.candidate_partitions = {1, 2, 4};
+  o.memory_reuse = false;
+  core::MoELayer layer(cluster, o);
+
+  runtime::TrainerOptions topt;
+  topt.workload.d_model = 16;
+  topt.workload.tokens_per_device = 48;
+  topt.workload.num_devices = 4;
+  topt.workload.batch_jitter = 0.4;  // dynamic B, as in MoE training
+  topt.steps = 10;
+  runtime::Trainer trainer(layer, topt);
+  trainer.run();
+  const auto& stats = layer.searcher().stats();
+  // Ten steps with jittered batches must not mean ten full searches.
+  EXPECT_LT(stats.full_searches, 10u);
+  EXPECT_GT(stats.cache_hits + stats.range_hits, 0u);
+}
+
+TEST(Workload, BatchTraceBucketsRecur) {
+  const auto trace = runtime::batch_size_trace(100, 200, 50, 4, 1);
+  EXPECT_EQ(trace.size(), 50u);
+  std::set<std::int64_t> distinct(trace.begin(), trace.end());
+  EXPECT_LE(distinct.size(), 4u);
+  for (std::int64_t b : trace) {
+    EXPECT_GE(b, 100);
+    EXPECT_LE(b, 200);
+  }
+}
+
+TEST(Workload, TargetsAreContraction) {
+  runtime::WorkloadOptions wo;
+  wo.d_model = 8;
+  wo.tokens_per_device = 4;
+  wo.num_devices = 2;
+  runtime::WorkloadGenerator gen(wo);
+  auto batch = gen.next_batch();
+  auto targets = gen.targets_for(batch);
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_NEAR(targets[0].at(0), batch[0].at(0) * 0.5f, 1e-6f);
+  EXPECT_EQ(gen.last_batch_tokens(), 4);
+}
+
+TEST(ModelZoo, TableIIIConfigs) {
+  EXPECT_EQ(runtime::gpt_s().d_model, 768);
+  EXPECT_EQ(runtime::gpt_s().d_hidden, 3072);
+  EXPECT_EQ(runtime::gpt_xl().d_model, 2048);
+  EXPECT_EQ(runtime::gpt_xl().d_hidden, 8192);
+  EXPECT_EQ(runtime::bert_l().d_model, 1024);
+  EXPECT_EQ(runtime::bert_l().d_hidden, 4096);
+  for (const auto& spec : runtime::paper_models()) {
+    EXPECT_EQ(spec.num_experts, 64);
+    EXPECT_EQ(spec.d_hidden, 4 * spec.d_model);  // H = 4M
+  }
+}
+
+// ---- common utilities --------------------------------------------------------
+
+TEST(Stats, RunningAndPercentiles) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({5}, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean({100, 1, 2, 3, -50}, 1), 2.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, -1.0}), CheckError);
+}
+
+TEST(Rng, ForkDecorrelatesAndZipfSkews) {
+  Rng parent(1);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.uniform(), child.uniform());
+
+  Rng z(2);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[z.zipf(8, 1.2)];
+  EXPECT_GT(counts[0], counts[7] * 3);
+  // s = 0 degenerates to (roughly) uniform.
+  Rng u(3);
+  std::vector<int> flat(4, 0);
+  for (int i = 0; i < 4000; ++i) ++flat[u.zipf(4, 0.0)];
+  for (int c : flat) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(4);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[rng.categorical({1.0, 0.0, 3.0})];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), CheckError);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(
+      1000,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1);
+        }
+      },
+      /*grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] {});
+  EXPECT_NO_THROW(future.get());
+}
+
+}  // namespace
+}  // namespace mpipe

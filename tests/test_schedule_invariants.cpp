@@ -1,0 +1,267 @@
+// Property tests on the generated schedules: stream exclusivity, WAR-hazard
+// ordering on reused ring slots, collective synchrony, strategy-specific op
+// population, and real comm/comp overlap once pipelining is on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/moe_layer.h"
+#include "core/restore.h"
+#include "tensor/random_init.h"
+
+namespace mpipe {
+namespace {
+
+struct BuiltStep {
+  sim::OpGraph forward;
+  sim::OpGraph backward;
+  sim::TimingResult fwd_timing;
+  sim::TimingResult bwd_timing;
+};
+
+/// Builds fwd+bwd timing-only graphs for a paper-scale configuration.
+BuiltStep build_step(sim::Cluster& cluster, int n,
+                     core::ReuseStrategy strategy, std::int64_t tokens) {
+  core::MoELayerOptions o;
+  o.d_model = 1024;
+  o.d_hidden = 4096;
+  o.num_experts = 64;
+  o.num_partitions = n;
+  o.memory_reuse = strategy != core::ReuseStrategy::kNone;
+  if (o.memory_reuse) o.strategy = strategy;
+  o.mode = core::ExecutionMode::kTimingOnly;
+  core::MoELayer layer(cluster, o);
+  // step_timing runs both graphs; rebuild them here for inspection via the
+  // same public path.
+  auto report = layer.step_timing(tokens);
+  BuiltStep out;
+  out.fwd_timing = report.forward_timing;
+  out.bwd_timing = report.backward_timing;
+  return out;
+}
+
+struct ScheduleCase {
+  int n;
+  core::ReuseStrategy strategy;
+};
+
+class ScheduleInvariants : public testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleInvariants, StreamsNeverOverlapAndOpsAllFinish) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(2, 4);
+  core::MoELayerOptions o;
+  o.d_model = 1024;
+  o.d_hidden = 4096;
+  o.num_experts = 64;
+  o.num_partitions = GetParam().n;
+  o.memory_reuse = GetParam().strategy != core::ReuseStrategy::kNone;
+  if (o.memory_reuse) o.strategy = GetParam().strategy;
+  o.mode = core::ExecutionMode::kTimingOnly;
+  core::MoELayer layer(cluster, o);
+
+  // Reach into the same builder the layer uses.
+  core::MoeStepContext ctx;
+  ctx.mode = core::ExecutionMode::kTimingOnly;
+  ctx.strategy = o.memory_reuse ? *o.strategy : core::ReuseStrategy::kNone;
+  ctx.d_model = o.d_model;
+  ctx.d_hidden = o.d_hidden;
+  ctx.plan = moe::Dispatcher::synthetic(4096, cluster.num_devices(),
+                                        64 / cluster.num_devices(),
+                                        GetParam().n);
+  ctx.dev.resize(static_cast<std::size_t>(cluster.num_devices()));
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  mem::HostStaging staging;
+  core::PipelineScheduleBuilder builder(world, staging);
+
+  for (sim::OpGraph* graph :
+       {new sim::OpGraph(builder.build_forward(ctx, {})),
+        new sim::OpGraph(builder.build_backward(ctx, {}))}) {
+    auto timing = cluster.time_only(*graph);
+    // Every op ran to completion.
+    for (const auto& ot : timing.op_times) {
+      ASSERT_TRUE(ot.started());
+      ASSERT_GE(ot.end, ot.start);
+    }
+    // In-order streams: ops sharing a (device, stream) never overlap.
+    std::map<std::pair<int, int>, std::vector<int>> per_stream;
+    for (const auto& op : graph->ops()) {
+      for (int d : op.devices) {
+        per_stream[{d, static_cast<int>(op.stream)}].push_back(op.id);
+      }
+    }
+    for (const auto& [key, ids] : per_stream) {
+      for (std::size_t i = 1; i < ids.size(); ++i) {
+        const auto& prev = timing.op_times[static_cast<std::size_t>(
+            ids[i - 1])];
+        const auto& next =
+            timing.op_times[static_cast<std::size_t>(ids[i])];
+        EXPECT_GE(next.start, prev.end - 1e-12)
+            << "stream overlap on device " << key.first;
+      }
+    }
+    // Collectives occupy all participants for the same interval.
+    for (const auto& op : graph->ops()) {
+      if (op.devices.size() < 2) continue;
+      const auto& ot = timing.op_times[static_cast<std::size_t>(op.id)];
+      EXPECT_GT(ot.end, ot.start);
+    }
+    delete graph;
+  }
+}
+
+TEST_P(ScheduleInvariants, WarOrderingOnRingSlots) {
+  if (GetParam().strategy == core::ReuseStrategy::kNone) {
+    GTEST_SKIP() << "no ring reuse without a strategy";
+  }
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoeStepContext ctx;
+  ctx.mode = core::ExecutionMode::kTimingOnly;
+  ctx.strategy = GetParam().strategy;
+  ctx.d_model = 1024;
+  ctx.d_hidden = 4096;
+  ctx.plan = moe::Dispatcher::synthetic(4096, 4, 16, GetParam().n);
+  ctx.dev.resize(4);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  mem::HostStaging staging;
+  core::PipelineScheduleBuilder builder(world, staging);
+  sim::OpGraph fwd = builder.build_forward(ctx, {});
+  auto timing = cluster.time_only(fwd);
+
+  // T_DI slot reuse: S_{p} (writer of slot p%2) must start only after
+  // C1_{p-2} (reader of the same slot) ended, on every device.
+  auto find_ops = [&](const std::string& prefix) {
+    std::map<std::string, int> out;
+    for (const auto& op : fwd.ops()) {
+      if (op.label.rfind(prefix, 0) == 0) out[op.label] = op.id;
+    }
+    return out;
+  };
+  const auto s_ops = find_ops("S");
+  const auto c1_ops = find_ops("C1_");
+  for (int p = 2; p < GetParam().n; ++p) {
+    const auto writer = s_ops.find("S" + std::to_string(p));
+    ASSERT_NE(writer, s_ops.end());
+    const auto& w = timing.op_times[static_cast<std::size_t>(
+        writer->second)];
+    for (int d = 0; d < 4; ++d) {
+      const auto reader = c1_ops.find("C1_" + std::to_string(p - 2) + ".d" +
+                                      std::to_string(d));
+      ASSERT_NE(reader, c1_ops.end());
+      const auto& r = timing.op_times[static_cast<std::size_t>(
+          reader->second)];
+      EXPECT_GE(w.start, r.end - 1e-12)
+          << "S" << p << " overwrote T_DI slot before C1_" << p - 2
+          << ".d" << d << " finished";
+    }
+  }
+}
+
+TEST_P(ScheduleInvariants, StrategySpecificOpsPresent) {
+  if (GetParam().strategy == core::ReuseStrategy::kNone ||
+      GetParam().n < 2) {
+    GTEST_SKIP();
+  }
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoeStepContext ctx;
+  ctx.mode = core::ExecutionMode::kTimingOnly;
+  ctx.strategy = GetParam().strategy;
+  ctx.d_model = 512;
+  ctx.d_hidden = 2048;
+  ctx.plan = moe::Dispatcher::synthetic(2048, 4, 16, GetParam().n);
+  ctx.dev.resize(4);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  mem::HostStaging staging;
+  core::PipelineScheduleBuilder builder(world, staging);
+  sim::OpGraph fwd = builder.build_forward(ctx, {});
+  sim::OpGraph bwd = builder.build_backward(ctx, {});
+
+  auto count = [](const sim::OpGraph& graph, sim::OpCategory cat) {
+    int c = 0;
+    for (const auto& op : graph.ops()) {
+      if (op.category == cat) ++c;
+    }
+    return c;
+  };
+  const bool offloads = core::uses_offload(GetParam().strategy);
+  const bool recomm = core::restores_tdi_by_comm(GetParam().strategy);
+  const bool recompute =
+      core::restores_tm_by_recompute(GetParam().strategy);
+  EXPECT_EQ(count(fwd, sim::OpCategory::kMemcpyD2H) > 0, offloads);
+  EXPECT_EQ(count(bwd, sim::OpCategory::kMemcpyH2D) > 0, offloads);
+  // Backward AllToAlls: 2n baseline (S', R') + n re-communication for
+  // S2/S4, plus no others.
+  const int n = GetParam().n;
+  EXPECT_EQ(count(bwd, sim::OpCategory::kAllToAll),
+            recomm ? 3 * n : 2 * n);
+  // Recompute adds one GEMM per partition per device on top of the fused
+  // backward GEMM and gating backward.
+  const int base_gemms = n * 4 + 4;  // Cb per (p,d) + Gb per d
+  EXPECT_EQ(count(bwd, sim::OpCategory::kGemm),
+            recompute ? base_gemms + n * 4 : base_gemms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScheduleInvariants,
+    testing::Values(ScheduleCase{1, core::ReuseStrategy::kNone},
+                    ScheduleCase{2, core::ReuseStrategy::kNone},
+                    ScheduleCase{4, core::ReuseStrategy::kNone},
+                    ScheduleCase{8, core::ReuseStrategy::kNone},
+                    ScheduleCase{2, core::ReuseStrategy::kS1},
+                    ScheduleCase{4, core::ReuseStrategy::kS1},
+                    ScheduleCase{4, core::ReuseStrategy::kS2},
+                    ScheduleCase{4, core::ReuseStrategy::kS3},
+                    ScheduleCase{4, core::ReuseStrategy::kS4},
+                    ScheduleCase{8, core::ReuseStrategy::kS2},
+                    ScheduleCase{8, core::ReuseStrategy::kS4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) +
+             core::to_string(info.param.strategy);
+    });
+
+TEST(ScheduleOverlap, PipelineOverlapsCommAndCompute) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(8, 8);
+  auto report_for = [&](int n) {
+    core::MoELayerOptions o;
+    o.d_model = 2048;
+    o.d_hidden = 8192;
+    o.num_experts = 64;
+    o.num_partitions = n;
+    o.memory_reuse = false;
+    o.mode = core::ExecutionMode::kTimingOnly;
+    core::MoELayer layer(cluster, o);
+    return layer.step_timing(16384);
+  };
+  const auto serial = report_for(1);
+  const auto piped = report_for(4);
+  // With pipelining the same total work finishes sooner...
+  EXPECT_LT(piped.step_seconds(), serial.step_seconds());
+  // ...because comm and compute genuinely overlap: busy seconds exceed the
+  // serial sum check (comp + comm busy > makespan means overlap happened).
+  const auto& t = piped.forward_timing;
+  const double comp = t.stream_busy(0, sim::StreamKind::kCompute);
+  const double comm = t.stream_busy(0, sim::StreamKind::kComm);
+  EXPECT_GT(comp + comm, t.makespan * 1.05);
+}
+
+TEST(ScheduleOverlap, VeryFineGranularityHurts) {
+  // Paper §I: "very fine-grained pipelining incurs significant overhead
+  // because of frequent kernel launches and GPU under-utilization."
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(8, 8);
+  auto seconds_for = [&](int n) {
+    core::MoELayerOptions o;
+    o.d_model = 2048;
+    o.d_hidden = 8192;
+    o.num_experts = 64;
+    o.num_partitions = n;
+    o.memory_reuse = false;
+    o.mode = core::ExecutionMode::kTimingOnly;
+    core::MoELayer layer(cluster, o);
+    return layer.step_timing(2048).step_seconds();
+  };
+  // At a small batch, n=16 must be worse than the best coarse setting.
+  EXPECT_GT(seconds_for(16), std::min(seconds_for(1), seconds_for(2)));
+}
+
+}  // namespace
+}  // namespace mpipe
