@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the micro benches and emits machine-readable results so future PRs
+# have a perf trajectory to compare against.
+#
+# Usage: bench/run_benches.sh [build_dir] [out_dir]
+#   build_dir  CMake build tree holding bench/ binaries (default: build)
+#   out_dir    where BENCH_*.json land (default: repo root)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_micro_gemm" ]]; then
+  echo "error: ${BUILD_DIR}/bench/bench_micro_gemm not built." >&2
+  echo "Run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+echo "== bench_micro_gemm (items_per_second == FLOP/s) =="
+"${BUILD_DIR}/bench/bench_micro_gemm" \
+  --benchmark_out="${OUT_DIR}/BENCH_gemm.json" \
+  --benchmark_out_format=json
+
+echo "== bench_micro_alltoall =="
+"${BUILD_DIR}/bench/bench_micro_alltoall" \
+  --benchmark_out="${OUT_DIR}/BENCH_alltoall.json" \
+  --benchmark_out_format=json
+
+echo "Wrote ${OUT_DIR}/BENCH_gemm.json and ${OUT_DIR}/BENCH_alltoall.json"

@@ -268,11 +268,11 @@ sim::OpGraph FasterMoELayer::build_forward(MoeStepContext& ctx,
       auto* c = &ctx;
       auto* experts = &experts_;
       fn = [c, experts, j] {
-        const auto& rows_of =
-            c->plan.part(0).expert_rows[static_cast<std::size_t>(j)];
-        for (std::size_t k = 0; k < rows_of.size(); ++k) {
+        const auto& spans_of =
+            c->plan.part(0).expert_spans[static_cast<std::size_t>(j)];
+        for (std::size_t k = 0; k < spans_of.size(); ++k) {
           (*experts)[static_cast<std::size_t>(j)][k].forward_rows(
-              core::tdi_buffer(*c, j, 0), rows_of[k],
+              core::tdi_buffer(*c, j, 0), spans_of[k],
               core::tm_buffer(*c, j, 0), core::tdo_buffer(*c, j, 0));
         }
       };
@@ -446,12 +446,12 @@ sim::OpGraph FasterMoELayer::build_backward(
       auto* c = &ctx;
       auto* experts = &experts_;
       fn = [c, experts, j] {
-        const auto& rows_of =
-            c->plan.part(0).expert_rows[static_cast<std::size_t>(j)];
-        for (std::size_t k = 0; k < rows_of.size(); ++k) {
+        const auto& spans_of =
+            c->plan.part(0).expert_spans[static_cast<std::size_t>(j)];
+        for (std::size_t k = 0; k < spans_of.size(); ++k) {
           (*experts)[static_cast<std::size_t>(j)][k].backward_rows(
               core::d_tdo_buffer(*c, j, 0), core::tdi_buffer(*c, j, 0),
-              core::tm_buffer(*c, j, 0), rows_of[k],
+              core::tm_buffer(*c, j, 0), spans_of[k],
               core::d_tdi_buffer(*c, j, 0));
         }
       };

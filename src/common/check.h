@@ -61,3 +61,13 @@ namespace detail {
 /// Marks unreachable control flow.
 #define MPIPE_UNREACHABLE(msg)                                             \
   ::mpipe::detail::check_failed("unreachable", "false", __FILE__, __LINE__, msg)
+
+/// No-alias qualifier for kernel pointers (GCC/Clang/MSVC all accept a
+/// spelling; fall back to nothing elsewhere).
+#if defined(__GNUC__) || defined(__clang__)
+#define MPIPE_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define MPIPE_RESTRICT __restrict
+#else
+#define MPIPE_RESTRICT
+#endif

@@ -1,10 +1,60 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 
 #include "common/check.h"
 
 namespace mpipe {
+
+namespace {
+
+// Which pool (if any) owns the current thread. Used to run nested
+// parallel_for calls inline instead of enqueueing work the blocked parent
+// would wait on forever.
+thread_local const ThreadPool* tls_owner_pool = nullptr;
+
+/// Shared state of one parallel_for call. Work is handed out by a single
+/// fetch_add on `next`; completion is a count of finished chunks plus one
+/// condition variable the caller sleeps on only if it runs out of chunks
+/// before the helpers do.
+struct ParallelForState {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::once_flag error_once;
+  std::exception_ptr error;
+
+  /// Drains chunks until the counter runs dry. Safe to call from any
+  /// thread; the loop body only dereferences `fn` while the owning
+  /// parallel_for is still blocked waiting for `done`.
+  void drain() {
+    std::size_t c;
+    while ((c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::call_once(error_once,
+                       [this] { error = std::current_exception(); });
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,6 +75,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_worker() const { return tls_owner_pool == this; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
@@ -42,22 +94,48 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
   const std::size_t workers = size();
-  if (n <= grain || workers <= 1) {
+  if (n <= grain || workers <= 1 || in_worker()) {
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per;
-    const std::size_t end = std::min(n, begin + per);
-    if (begin >= end) break;
-    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+
+  // Split into chunks whose boundaries are multiples of `grain`, with a few
+  // chunks per worker so skewed bodies (ragged expert batches) rebalance
+  // through the shared counter instead of serializing on the slowest chunk.
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t target = std::min(max_chunks, workers * 4);
+  std::size_t chunk = (n + target - 1) / target;
+  chunk = (chunk + grain - 1) / grain * grain;
+
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = &fn;
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = (n + chunk - 1) / chunk;
+
+  // One queue entry per helper, not per chunk: helpers pull chunks off the
+  // atomic counter themselves, so the mutex is touched once per call.
+  const std::size_t helpers = std::min(workers, state->num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MPIPE_CHECK(!stopping_, "parallel_for on stopped pool");
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace([state] { state->drain(); });
+    }
   }
-  for (auto& f : futures) f.get();
+  cv_.notify_all();
+
+  state->drain();
+  if (state->done.load(std::memory_order_acquire) < state->num_chunks) {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >=
+             state->num_chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -66,6 +144,7 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_owner_pool = this;
   for (;;) {
     std::function<void()> task;
     {

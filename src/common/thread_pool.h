@@ -3,6 +3,12 @@
 /// Fixed-size worker pool with a parallel_for primitive, used by the tensor
 /// library for GEMM and large elementwise kernels. Follows CP.4 ("think in
 /// terms of tasks"): callers submit range tasks, never touch threads.
+///
+/// parallel_for is lock-light: one shared atomic chunk counter hands out
+/// work, one completion latch collects it, and the calling thread drains
+/// chunks alongside the workers. Calls made from inside a worker thread run
+/// inline, so nested parallelism (pipeline executor -> GEMM) cannot
+/// deadlock the pool.
 
 #include <condition_variable>
 #include <cstddef>
@@ -29,12 +35,18 @@ class ThreadPool {
   /// Submits a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
-  /// Runs fn(begin, end) over [0, n) split into roughly equal chunks across
-  /// the pool, blocking until all chunks complete. Grain controls the
-  /// minimum chunk size (small n runs inline).
+  /// Runs fn(begin, end) over [0, n) split into chunks across the pool,
+  /// blocking until all chunks complete. Chunk boundaries are multiples of
+  /// `grain` (the final chunk may be ragged); small n runs inline, as does
+  /// any call issued from a pool worker (nested parallelism stays serial
+  /// instead of deadlocking). The caller participates in draining chunks,
+  /// so forward progress never depends on a free worker.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1024);
+
+  /// True when the current thread is one of this pool's workers.
+  bool in_worker() const;
 
   /// Process-wide shared pool (sized to the machine).
   static ThreadPool& shared();

@@ -176,11 +176,11 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
         auto* c = &ctx;
         auto* experts = refs.experts;
         fn = [c, experts, p, d] {
-          const auto& rows_of =
-              c->plan.part(p).expert_rows[static_cast<std::size_t>(d)];
-          for (std::size_t k = 0; k < rows_of.size(); ++k) {
+          const auto& spans_of =
+              c->plan.part(p).expert_spans[static_cast<std::size_t>(d)];
+          for (std::size_t k = 0; k < spans_of.size(); ++k) {
             (*experts)[static_cast<std::size_t>(d)][k].forward_mid_rows(
-                tdi_buffer(*c, d, p), rows_of[k], tm_buffer(*c, d, p));
+                tdi_buffer(*c, d, p), spans_of[k], tm_buffer(*c, d, p));
           }
         };
       }
@@ -230,11 +230,11 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
         auto* c = &ctx;
         auto* experts = refs.experts;
         fn = [c, experts, p, d] {
-          const auto& rows_of =
-              c->plan.part(p).expert_rows[static_cast<std::size_t>(d)];
-          for (std::size_t k = 0; k < rows_of.size(); ++k) {
+          const auto& spans_of =
+              c->plan.part(p).expert_spans[static_cast<std::size_t>(d)];
+          for (std::size_t k = 0; k < spans_of.size(); ++k) {
             (*experts)[static_cast<std::size_t>(d)][k].forward_out_rows(
-                tm_buffer(*c, d, p), rows_of[k], tdo_buffer(*c, d, p));
+                tm_buffer(*c, d, p), spans_of[k], tdo_buffer(*c, d, p));
           }
         };
       }
@@ -437,11 +437,11 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
             auto* c = &ctx;
             auto* experts = refs.experts;
             fn = [c, experts, p, d] {
-              const auto& rows_of =
-                  c->plan.part(p).expert_rows[static_cast<std::size_t>(d)];
-              for (std::size_t k = 0; k < rows_of.size(); ++k) {
+              const auto& spans_of =
+                  c->plan.part(p).expert_spans[static_cast<std::size_t>(d)];
+              for (std::size_t k = 0; k < spans_of.size(); ++k) {
                 (*experts)[static_cast<std::size_t>(d)][k]
-                    .recompute_mid_rows(tdi_buffer(*c, d, p), rows_of[k],
+                    .recompute_mid_rows(tdi_buffer(*c, d, p), spans_of[k],
                                         tm_buffer(*c, d, p));
               }
             };
@@ -492,12 +492,12 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
         auto* c = &ctx;
         auto* experts = refs.experts;
         fn = [c, experts, p, d] {
-          const auto& rows_of =
-              c->plan.part(p).expert_rows[static_cast<std::size_t>(d)];
-          for (std::size_t k = 0; k < rows_of.size(); ++k) {
+          const auto& spans_of =
+              c->plan.part(p).expert_spans[static_cast<std::size_t>(d)];
+          for (std::size_t k = 0; k < spans_of.size(); ++k) {
             (*experts)[static_cast<std::size_t>(d)][k].backward_rows(
                 d_tdo_buffer(*c, d, p), tdi_buffer(*c, d, p),
-                tm_buffer(*c, d, p), rows_of[k], d_tdi_buffer(*c, d, p));
+                tm_buffer(*c, d, p), spans_of[k], d_tdi_buffer(*c, d, p));
           }
         };
       }

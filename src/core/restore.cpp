@@ -5,6 +5,26 @@
 namespace mpipe::core {
 
 namespace {
+
+/// Appends `seg`, or widens the previous segment when `seg` continues it
+/// (same endpoints, both row ranges contiguous). Tokens that stayed in
+/// send order — common under coarse routing — then travel as one block
+/// copy instead of per-row segments.
+void push_or_merge(std::vector<comm::RowSegment>& segments,
+                   const comm::RowSegment& seg) {
+  if (!segments.empty()) {
+    comm::RowSegment& prev = segments.back();
+    if (prev.src_device == seg.src_device && prev.src == seg.src &&
+        prev.dst_device == seg.dst_device && prev.dst == seg.dst &&
+        prev.src_row + prev.rows == seg.src_row &&
+        prev.dst_row + prev.rows == seg.dst_row) {
+      prev.rows += seg.rows;
+      return;
+    }
+  }
+  segments.push_back(seg);
+}
+
 Tensor& pick(MoeStepContext& ctx, std::optional<mem::BufferPool>& pool,
              std::vector<mem::TrackedTensor>& parts, int p) {
   if (ctx.reuse()) {
@@ -68,7 +88,7 @@ std::vector<comm::RowSegment> dispatch_segments(MoeStepContext& ctx, int p) {
                     written[static_cast<std::size_t>(dst)];
       seg.rows = 1;
       ++written[static_cast<std::size_t>(dst)];
-      segments.push_back(seg);
+      push_or_merge(segments, seg);
     }
   }
   return segments;
@@ -127,7 +147,7 @@ std::vector<comm::RowSegment> combine_segments(MoeStepContext& ctx, int p,
       seg.dst_row = t;
       seg.rows = 1;
       ++read[static_cast<std::size_t>(holder)];
-      segments.push_back(seg);
+      push_or_merge(segments, seg);
     }
   }
   return segments;

@@ -7,6 +7,12 @@
 
 namespace mpipe::moe {
 
+std::int64_t span_rows(const RowSpanList& spans) {
+  std::int64_t total = 0;
+  for (const RowSpan& s : spans) total += s.count;
+  return total;
+}
+
 const PartitionPlan& DispatchPlan::part(int p) const {
   MPIPE_EXPECTS(p >= 0 && p < static_cast<int>(parts.size()),
                 "partition index out of range");
@@ -59,15 +65,11 @@ DispatchPlan Dispatcher::build(
 
     for (int d = 0; d < num_devices; ++d) {
       DeviceRouting& routing = part.src[static_cast<std::size_t>(d)];
+      // Single allocation up front; iota + sort never reallocate.
       routing.order.resize(static_cast<std::size_t>(part.chunk_rows));
       std::iota(routing.order.begin(), routing.order.end(),
                 part.chunk_begin);
       const auto& experts = expert_of[static_cast<std::size_t>(d)];
-      for (std::int64_t t = part.chunk_begin;
-           t < part.chunk_begin + part.chunk_rows; ++t) {
-        const std::int64_t e = experts[static_cast<std::size_t>(t)];
-        MPIPE_CHECK(e >= 0 && e < num_experts, "expert id out of range");
-      }
       std::stable_sort(routing.order.begin(), routing.order.end(),
                        [&](std::int64_t a, std::int64_t b) {
                          return experts[static_cast<std::size_t>(a)] <
@@ -78,8 +80,11 @@ DispatchPlan Dispatcher::build(
           static_cast<std::size_t>(num_devices),
           std::vector<std::int64_t>(
               static_cast<std::size_t>(experts_per_device), 0));
+      // The counting pass touches every token anyway, so expert ids are
+      // validated here instead of in a separate O(tokens) pre-scan.
       for (std::int64_t row : routing.order) {
         const std::int64_t e = experts[static_cast<std::size_t>(row)];
+        MPIPE_CHECK(e >= 0 && e < num_experts, "expert id out of range");
         const int dst = static_cast<int>(e / experts_per_device);
         const int local = static_cast<int>(e % experts_per_device);
         ++routing.send_counts[static_cast<std::size_t>(dst)];
@@ -107,12 +112,12 @@ DispatchPlan Dispatcher::build(
       plan.max_recv_rows = std::max(plan.max_recv_rows, offset);
     }
 
-    // Per local expert: rows inside the receive buffer. Within each source
-    // block tokens are expert-sorted, so each (src, expert) span is
-    // contiguous at a computable offset.
-    part.expert_rows.assign(
+    // Per local expert: receive-buffer spans. Within each source block
+    // tokens are expert-sorted, so each (src, expert) group is one
+    // contiguous span at a computable offset — no per-row indices.
+    part.expert_spans.assign(
         static_cast<std::size_t>(num_devices),
-        std::vector<std::vector<std::int64_t>>(
+        std::vector<RowSpanList>(
             static_cast<std::size_t>(experts_per_device)));
     for (int dst = 0; dst < num_devices; ++dst) {
       for (int srcd = 0; srcd < num_devices; ++srcd) {
@@ -124,10 +129,10 @@ DispatchPlan Dispatcher::build(
           const std::int64_t count =
               routing.counts_per_expert[static_cast<std::size_t>(dst)]
                                        [static_cast<std::size_t>(local)];
-          auto& rows = part.expert_rows[static_cast<std::size_t>(dst)]
-                                       [static_cast<std::size_t>(local)];
-          for (std::int64_t r = 0; r < count; ++r) {
-            rows.push_back(span_begin + r);
+          if (count > 0) {
+            part.expert_spans[static_cast<std::size_t>(dst)]
+                             [static_cast<std::size_t>(local)]
+                .push_back(RowSpan{span_begin, count});
           }
           span_begin += count;
         }

@@ -15,6 +15,24 @@
 
 namespace mpipe::moe {
 
+/// A contiguous run of rows in a receive buffer: [offset, offset + count).
+/// The receive layout (source-major blocks, expert-sorted within a block)
+/// guarantees every (source, expert) group is one such run, so plans carry
+/// spans instead of per-row index lists and the compute path moves tokens
+/// with block memcpy.
+struct RowSpan {
+  std::int64_t offset = 0;
+  std::int64_t count = 0;
+
+  bool operator==(const RowSpan&) const = default;
+};
+
+/// Spans of one local expert, one per contributing source device.
+using RowSpanList = std::vector<RowSpan>;
+
+/// Total rows covered by a span list.
+std::int64_t span_rows(const RowSpanList& spans);
+
 /// Routing of one source device within one partition.
 struct DeviceRouting {
   /// Absolute row ids of this device's chunk, stably sorted by global
@@ -34,9 +52,9 @@ struct PartitionPlan {
   std::vector<DeviceRouting> src;                       ///< [device]
   std::vector<std::int64_t> recv_rows;                  ///< [device]
   std::vector<std::vector<std::int64_t>> recv_offset;   ///< [dst][src]
-  /// Row indices (into the receive buffer) per local expert; empty in
-  /// synthetic plans.
-  std::vector<std::vector<std::vector<std::int64_t>>> expert_rows;
+  /// Contiguous receive-buffer spans per local expert (one span per
+  /// contributing source device); empty in synthetic plans.
+  std::vector<std::vector<RowSpanList>> expert_spans;
 };
 
 struct DispatchPlan {

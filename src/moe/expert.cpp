@@ -1,5 +1,7 @@
 #include "moe/expert.h"
 
+#include <cstring>
+
 #include "common/check.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
@@ -33,20 +35,18 @@ ExpertFFN::ExpertFFN(std::int64_t d_model, std::int64_t d_hidden,
 Tensor ExpertFFN::forward(const Tensor& x, Tensor& mid) const {
   MPIPE_EXPECTS(x.shape().rank() == 2 && x.dim(1) == d_model(),
                 "expert input must be (rows, M)");
-  Tensor pre(Shape{x.dim(0), d_hidden()});
-  gemm(x, w1_, pre);
-  add_bias_(pre, b1_);
+  mid = Tensor(Shape{x.dim(0), d_hidden()});
   Tensor act;
   if (activation_ == ActivationKind::kReLU) {
-    mid = relu(pre);
+    // FFN1 with the bias+ReLU epilogue fused into the GEMM tile writes.
+    gemm_bias_act(x, w1_, b1_, GemmEpilogue::kBiasReLU, mid);
     act = mid;
   } else {
-    mid = pre;
-    act = gelu(pre);
+    gemm_bias(x, w1_, b1_, mid);  // stash pre-activation
+    act = gelu(mid);
   }
   Tensor out(Shape{x.dim(0), d_model()});
-  gemm(act, w2_, out);
-  add_bias_(out, b2_);
+  gemm_bias(act, w2_, b2_, out);
   return out;
 }
 
@@ -73,74 +73,88 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   return dx;
 }
 
-Tensor ExpertFFN::gather_rows(const Tensor& buf,
-                              const std::vector<std::int64_t>& rows) const {
-  Tensor out(Shape{static_cast<std::int64_t>(rows.size()), buf.dim(1)});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    out.copy_into_rows(static_cast<std::int64_t>(i),
-                       buf.slice_rows(rows[i], rows[i] + 1));
+Tensor gather_spans(const Tensor& buf, const RowSpanList& spans) {
+  MPIPE_EXPECTS(buf.shape().rank() == 2, "span gather needs a matrix");
+  const std::int64_t cols = buf.dim(1);
+  Tensor out(Shape{span_rows(spans), cols});
+  float* dst = out.data();
+  const float* src = buf.data();
+  for (const RowSpan& s : spans) {
+    MPIPE_EXPECTS(s.offset >= 0 && s.count >= 0 &&
+                      s.offset + s.count <= buf.dim(0),
+                  "span outside buffer");
+    std::memcpy(dst, src + s.offset * cols,
+                static_cast<std::size_t>(s.count * cols) * sizeof(float));
+    dst += s.count * cols;
   }
   return out;
 }
 
-void ExpertFFN::scatter_rows(const Tensor& src, Tensor& buf,
-                             const std::vector<std::int64_t>& rows) {
-  MPIPE_EXPECTS(src.dim(0) == static_cast<std::int64_t>(rows.size()),
+void scatter_spans(const Tensor& src, Tensor& buf, const RowSpanList& spans) {
+  MPIPE_EXPECTS(buf.shape().rank() == 2 && src.shape().rank() == 2 &&
+                    src.dim(1) == buf.dim(1),
+                "span scatter needs matching matrices");
+  MPIPE_EXPECTS(src.dim(0) == span_rows(spans),
                 "scatter row count mismatch");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    buf.copy_into_rows(rows[i],
-                       src.slice_rows(static_cast<std::int64_t>(i),
-                                      static_cast<std::int64_t>(i) + 1));
+  const std::int64_t cols = buf.dim(1);
+  const float* from = src.data();
+  float* to = buf.data();
+  for (const RowSpan& s : spans) {
+    MPIPE_EXPECTS(s.offset >= 0 && s.count >= 0 &&
+                      s.offset + s.count <= buf.dim(0),
+                  "span outside buffer");
+    std::memcpy(to + s.offset * cols, from,
+                static_cast<std::size_t>(s.count * cols) * sizeof(float));
+    from += s.count * cols;
   }
 }
 
-void ExpertFFN::forward_rows(const Tensor& in,
-                             const std::vector<std::int64_t>& rows,
+void ExpertFFN::forward_rows(const Tensor& in, const RowSpanList& spans,
                              Tensor& mid_buf, Tensor& out_buf) const {
-  if (rows.empty()) return;
-  Tensor x = gather_rows(in, rows);
+  if (spans.empty()) return;
+  Tensor x = gather_spans(in, spans);
   Tensor mid;
   Tensor y = forward(x, mid);
-  scatter_rows(mid, mid_buf, rows);
-  scatter_rows(y, out_buf, rows);
+  scatter_spans(mid, mid_buf, spans);
+  scatter_spans(y, out_buf, spans);
 }
 
 void ExpertFFN::forward_out_rows(const Tensor& mid_buf,
-                                 const std::vector<std::int64_t>& rows,
+                                 const RowSpanList& spans,
                                  Tensor& out_buf) const {
-  if (rows.empty()) return;
-  Tensor mid = gather_rows(mid_buf, rows);
+  if (spans.empty()) return;
+  Tensor mid = gather_spans(mid_buf, spans);
   Tensor act = activation_ == ActivationKind::kReLU ? mid : gelu(mid);
   Tensor out(Shape{mid.dim(0), d_model()});
-  gemm(act, w2_, out);
-  add_bias_(out, b2_);
-  scatter_rows(out, out_buf, rows);
+  gemm_bias(act, w2_, b2_, out);
+  scatter_spans(out, out_buf, spans);
 }
 
 void ExpertFFN::backward_rows(const Tensor& dout_buf, const Tensor& in_buf,
-                              const Tensor& mid_buf,
-                              const std::vector<std::int64_t>& rows,
+                              const Tensor& mid_buf, const RowSpanList& spans,
                               Tensor& din_buf) {
-  if (rows.empty()) return;
-  Tensor dy = gather_rows(dout_buf, rows);
-  Tensor x = gather_rows(in_buf, rows);
-  Tensor mid = gather_rows(mid_buf, rows);
+  if (spans.empty()) return;
+  Tensor dy = gather_spans(dout_buf, spans);
+  Tensor x = gather_spans(in_buf, spans);
+  Tensor mid = gather_spans(mid_buf, spans);
   Tensor dx = backward(dy, x, mid);
-  scatter_rows(dx, din_buf, rows);
+  scatter_spans(dx, din_buf, spans);
 }
 
 void ExpertFFN::recompute_mid_rows(const Tensor& in_buf,
-                                   const std::vector<std::int64_t>& rows,
+                                   const RowSpanList& spans,
                                    Tensor& mid_buf) const {
-  if (rows.empty()) return;
-  Tensor x = gather_rows(in_buf, rows);
-  Tensor pre(Shape{x.dim(0), d_hidden()});
-  gemm(x, w1_, pre);
-  add_bias_(pre, b1_);
+  if (spans.empty()) return;
+  Tensor x = gather_spans(in_buf, spans);
+  Tensor mid(Shape{x.dim(0), d_hidden()});
   // Same stash convention as forward(): ReLU keeps post-activation, GELU
-  // keeps pre-activation.
-  Tensor mid = activation_ == ActivationKind::kReLU ? relu(pre) : pre;
-  scatter_rows(mid, mid_buf, rows);
+  // keeps pre-activation — both with the bias (and ReLU) fused.
+  if (activation_ == ActivationKind::kReLU) {
+    gemm_bias_act(x, w1_, b1_, GemmEpilogue::kBiasReLU, mid);
+  } else {
+    gemm_bias(x, w1_, b1_, mid);
+  }
+  scatter_spans(mid, mid_buf, spans);
 }
 
 void ExpertFFN::zero_grad() {

@@ -1,14 +1,16 @@
 #pragma once
 /// \file expert.h
 /// The expert FFN: y = act(x W1 + b1) W2 + b2 — the paper's default expert
-/// (two linear layers, activation applied in place). Row-indexed variants
-/// let several experts on one device process disjoint row subsets of the
-/// shared T_DI / T_M / T_DO partition buffers.
+/// (two linear layers, activation applied in place). Span-indexed variants
+/// let several experts on one device process disjoint contiguous row spans
+/// of the shared T_DI / T_M / T_DO partition buffers; tokens move by block
+/// memcpy and the GEMMs fuse the bias/activation epilogue.
 
 #include <vector>
 
 #include "common/rng.h"
 #include "moe/config.h"
+#include "moe/dispatcher.h"
 #include "tensor/tensor.h"
 
 namespace mpipe::moe {
@@ -25,33 +27,30 @@ class ExpertFFN {
   /// Dense backward; accumulates weight grads, returns dX.
   Tensor backward(const Tensor& dy, const Tensor& x, const Tensor& mid);
 
-  /// Row-indexed forward: processes `rows` of `in`, writing the same rows
-  /// of `mid_buf` and `out_buf`.
-  void forward_rows(const Tensor& in, const std::vector<std::int64_t>& rows,
+  /// Span-indexed forward: processes the rows of `in` covered by `spans`,
+  /// writing the same rows of `mid_buf` and `out_buf`.
+  void forward_rows(const Tensor& in, const RowSpanList& spans,
                     Tensor& mid_buf, Tensor& out_buf) const;
 
   /// FFN1 only: T_M rows = act(T_DI rows · W1 + b1). Same computation as
   /// recompute_mid_rows; aliased for the pipeline's C1 stage.
-  void forward_mid_rows(const Tensor& in_buf,
-                        const std::vector<std::int64_t>& rows,
+  void forward_mid_rows(const Tensor& in_buf, const RowSpanList& spans,
                         Tensor& mid_buf) const {
-    recompute_mid_rows(in_buf, rows, mid_buf);
+    recompute_mid_rows(in_buf, spans, mid_buf);
   }
 
   /// FFN2 only: T_DO rows = T_M rows · W2 + b2 (the pipeline's C2 stage).
-  void forward_out_rows(const Tensor& mid_buf,
-                        const std::vector<std::int64_t>& rows,
+  void forward_out_rows(const Tensor& mid_buf, const RowSpanList& spans,
                         Tensor& out_buf) const;
 
-  /// Row-indexed backward: consumes the same rows of dout/in/mid buffers,
+  /// Span-indexed backward: consumes the same rows of dout/in/mid buffers,
   /// writes dX into the rows of `din_buf`, accumulates weight grads.
   void backward_rows(const Tensor& dout_buf, const Tensor& in_buf,
-                     const Tensor& mid_buf,
-                     const std::vector<std::int64_t>& rows, Tensor& din_buf);
+                     const Tensor& mid_buf, const RowSpanList& spans,
+                     Tensor& din_buf);
 
   /// Recompute of T_M rows from restored T_DI rows (strategies S3/S4).
-  void recompute_mid_rows(const Tensor& in_buf,
-                          const std::vector<std::int64_t>& rows,
+  void recompute_mid_rows(const Tensor& in_buf, const RowSpanList& spans,
                           Tensor& mid_buf) const;
 
   void zero_grad();
@@ -68,14 +67,18 @@ class ExpertFFN {
   ActivationKind activation() const { return activation_; }
 
  private:
-  Tensor gather_rows(const Tensor& buf,
-                     const std::vector<std::int64_t>& rows) const;
-  static void scatter_rows(const Tensor& src, Tensor& buf,
-                           const std::vector<std::int64_t>& rows);
-
   ActivationKind activation_;
   Tensor w1_, b1_, w2_, b2_;
   Tensor gw1_, gb1_, gw2_, gb2_;
 };
+
+/// Copies the rows of `buf` covered by `spans` into one fresh packed
+/// (span_rows x cols) tensor — contiguous block memcpy per span, no
+/// per-row temporaries.
+Tensor gather_spans(const Tensor& buf, const RowSpanList& spans);
+
+/// Scatters the packed rows of `src` back into the `spans` rows of `buf`
+/// (inverse of gather_spans).
+void scatter_spans(const Tensor& src, Tensor& buf, const RowSpanList& spans);
 
 }  // namespace mpipe::moe

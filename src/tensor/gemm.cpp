@@ -1,37 +1,265 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <cstring>
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/ops.h"
 
 namespace mpipe {
 
 namespace {
 
-// Panel sizes tuned for L1/L2 residence of the B panel; correctness does not
-// depend on them (the tail loops handle ragged edges).
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockN = 128;
-constexpr std::int64_t kBlockK = 128;
+// ---- blocking parameters --------------------------------------------------
+// One C tile is MC x NC; K is consumed in KC slices. Per K slice the packed
+// A tile (MC*KC floats) lives in L2 and each packed B micro-panel (KC*NR
+// floats, 16 KiB) in L1. The micro-kernel is MR x NR = 8 x 16: eight
+// vector accumulators with one B load and eight A broadcasts per k step,
+// written so the compiler turns the unit-stride j loop into FMAs.
+constexpr std::int64_t kMR = 8;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kMC = 64;
+constexpr std::int64_t kNC = 128;
+constexpr std::int64_t kKC = 256;
+static_assert(kMC % kMR == 0 && kNC % kNR == 0, "tile/micro mismatch");
 
-// Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb], all row-major panels
-// addressed inside the full matrices.
-void kernel_nn(const float* a, const float* b, float* c, std::int64_t lda,
-               std::int64_t ldb, std::int64_t ldc, std::int64_t mb,
-               std::int64_t nb, std::int64_t kb) {
-  for (std::int64_t i = 0; i < mb; ++i) {
-    for (std::int64_t k = 0; k < kb; ++k) {
-      const float aik = a[i * lda + k];
-      if (aik == 0.0f) continue;
-      const float* brow = b + k * ldb;
-      float* crow = c + i * ldc;
-      for (std::int64_t j = 0; j < nb; ++j) {
-        crow[j] += aik * brow[j];
+/// 64-byte-aligned thread-local scratch for packed panels.
+class AlignedScratch {
+ public:
+  float* get(std::size_t n) {
+    if (raw_.size() < n + kPad) raw_.resize(n + kPad);
+    const auto addr = reinterpret_cast<std::uintptr_t>(raw_.data());
+    return raw_.data() + (64 - addr % 64) % 64 / sizeof(float);
+  }
+
+ private:
+  static constexpr std::size_t kPad = 64 / sizeof(float);
+  std::vector<float> raw_;
+};
+
+/// A matrix operand as the kernel sees it: `trans` means the logical
+/// (rows x cols) element (r, c) lives at data[c * ld + r].
+struct MatView {
+  const float* data;
+  std::int64_t ld;
+  bool trans;
+};
+
+/// Packs the logical A block [i0, i0+mb) x [k0, k0+kc) into MR-row micro
+/// panels: panel ip holds kc columns of MR consecutive row values
+/// ([k][m] order). Ragged rows are zero-padded so the micro-kernel never
+/// branches in its FMA loop.
+void pack_a(const MatView& a, std::int64_t i0, std::int64_t k0,
+            std::int64_t mb, std::int64_t kc, float* MPIPE_RESTRICT out) {
+  for (std::int64_t ip = 0; ip < mb; ip += kMR) {
+    const std::int64_t mr = std::min(kMR, mb - ip);
+    float* MPIPE_RESTRICT panel = out + ip * kc;
+    if (a.trans) {
+      // A stored (k x m): rows of the panel are unit-stride in memory.
+      for (std::int64_t k = 0; k < kc; ++k) {
+        const float* MPIPE_RESTRICT src =
+            a.data + (k0 + k) * a.ld + i0 + ip;
+        float* MPIPE_RESTRICT dst = panel + k * kMR;
+        for (std::int64_t m = 0; m < mr; ++m) dst[m] = src[m];
+        for (std::int64_t m = mr; m < kMR; ++m) dst[m] = 0.0f;
+      }
+    } else {
+      for (std::int64_t m = 0; m < mr; ++m) {
+        const float* MPIPE_RESTRICT src =
+            a.data + (i0 + ip + m) * a.ld + k0;
+        for (std::int64_t k = 0; k < kc; ++k) panel[k * kMR + m] = src[k];
+      }
+      for (std::int64_t m = mr; m < kMR; ++m) {
+        for (std::int64_t k = 0; k < kc; ++k) panel[k * kMR + m] = 0.0f;
       }
     }
   }
+}
+
+/// Packs the logical B block [k0, k0+kc) x [j0, j0+nb) into NR-column micro
+/// panels ([k][j] order), zero-padding ragged columns.
+void pack_b(const MatView& b, std::int64_t k0, std::int64_t j0,
+            std::int64_t kc, std::int64_t nb, float* MPIPE_RESTRICT out) {
+  for (std::int64_t jp = 0; jp < nb; jp += kNR) {
+    const std::int64_t nr = std::min(kNR, nb - jp);
+    float* MPIPE_RESTRICT panel = out + jp * kc;
+    if (b.trans) {
+      // B stored (n x k): each output column is unit-stride in k.
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float* MPIPE_RESTRICT src =
+            b.data + (j0 + jp + j) * b.ld + k0;
+        for (std::int64_t k = 0; k < kc; ++k) panel[k * kNR + j] = src[k];
+      }
+      for (std::int64_t j = nr; j < kNR; ++j) {
+        for (std::int64_t k = 0; k < kc; ++k) panel[k * kNR + j] = 0.0f;
+      }
+    } else {
+      for (std::int64_t k = 0; k < kc; ++k) {
+        const float* MPIPE_RESTRICT src = b.data + (k0 + k) * b.ld + j0 + jp;
+        float* MPIPE_RESTRICT dst = panel + k * kNR;
+        for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+        for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// C[0..mr) x [0..nr) (+)= Apanel * Bpanel over kc steps. The accumulator
+/// block (kMR vector rows of kNR floats) stays in registers for the whole
+/// k loop; each k step is one B-row load plus kMR broadcast FMAs.
+#if defined(__GNUC__) || defined(__clang__)
+
+// Explicit vector type: GCC 12's auto-vectorizer turns the equivalent
+// scalar loops into a permute cascade, so the kernel spells out the shape
+// it wants. vector_size(64) compiles on any target (narrower ISAs split
+// the ops); alignment 4 keeps loads/stores legal on unpadded C rows.
+typedef float VRow __attribute__((vector_size(kNR * sizeof(float)),
+                                  aligned(alignof(float))));
+
+void micro_kernel(const float* MPIPE_RESTRICT ap,
+                  const float* MPIPE_RESTRICT bp, std::int64_t kc,
+                  float* MPIPE_RESTRICT c, std::int64_t ldc, std::int64_t mr,
+                  std::int64_t nr, bool overwrite) {
+  VRow acc[kMR] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const VRow brow = *reinterpret_cast<const VRow*>(bp + k * kNR);
+    const float* MPIPE_RESTRICT arow = ap + k * kMR;
+    for (std::int64_t m = 0; m < kMR; ++m) {
+      acc[m] += arow[m] * brow;
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (std::int64_t m = 0; m < kMR; ++m) {
+      VRow* crow = reinterpret_cast<VRow*>(c + m * ldc);
+      *crow = overwrite ? acc[m] : *crow + acc[m];
+    }
+    return;
+  }
+  for (std::int64_t m = 0; m < mr; ++m) {
+    float* crow = c + m * ldc;
+    if (overwrite) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[m][j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[m][j];
+    }
+  }
+}
+
+#else  // portable scalar fallback
+
+void micro_kernel(const float* MPIPE_RESTRICT ap,
+                  const float* MPIPE_RESTRICT bp, std::int64_t kc,
+                  float* MPIPE_RESTRICT c, std::int64_t ldc, std::int64_t mr,
+                  std::int64_t nr, bool overwrite) {
+  float acc[kMR * kNR] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* brow = bp + k * kNR;
+    const float* arow = ap + k * kMR;
+    for (std::int64_t m = 0; m < kMR; ++m) {
+      const float am = arow[m];
+      float* accrow = acc + m * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) accrow[j] += am * brow[j];
+    }
+  }
+  for (std::int64_t m = 0; m < mr; ++m) {
+    float* crow = c + m * ldc;
+    const float* accrow = acc + m * kNR;
+    if (overwrite) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = accrow[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += accrow[j];
+    }
+  }
+}
+
+#endif
+
+/// Bias/activation over one finished C tile, applied while the tile is
+/// still cache-hot — the "fused" epilogue that replaces whole-tensor
+/// add_bias_/relu passes.
+void epilogue_tile(float* MPIPE_RESTRICT c, std::int64_t ldc,
+                   std::int64_t mb, std::int64_t nb,
+                   const float* MPIPE_RESTRICT bias, GemmEpilogue ep) {
+  for (std::int64_t m = 0; m < mb; ++m) {
+    float* MPIPE_RESTRICT crow = c + m * ldc;
+    switch (ep) {
+      case GemmEpilogue::kBias:
+        for (std::int64_t j = 0; j < nb; ++j) crow[j] += bias[j];
+        break;
+      case GemmEpilogue::kBiasReLU:
+        for (std::int64_t j = 0; j < nb; ++j) {
+          const float v = crow[j] + bias[j];
+          crow[j] = v > 0.0f ? v : 0.0f;
+        }
+        break;
+      case GemmEpilogue::kBiasGELU:
+        for (std::int64_t j = 0; j < nb; ++j) {
+          crow[j] = gelu_scalar(crow[j] + bias[j]);
+        }
+        break;
+      case GemmEpilogue::kNone:
+        break;
+    }
+  }
+}
+
+/// Shared driver: parallelizes over the M x N tile grid; each task packs
+/// its own A/B panels into thread-local scratch and runs the micro-kernel
+/// over every K slice before applying the epilogue to its tile.
+void gemm_driver(const MatView& a, const MatView& b, float* c,
+                 std::int64_t ldc, std::int64_t m, std::int64_t n,
+                 std::int64_t k, bool accumulate, const float* bias,
+                 GemmEpilogue ep) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      if (!accumulate) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    if (ep != GemmEpilogue::kNone) {
+      for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
+        epilogue_tile(c + i0 * ldc, ldc, std::min(kMC, m - i0), n, bias, ep);
+      }
+    }
+    return;
+  }
+
+  const std::int64_t mt = (m + kMC - 1) / kMC;
+  const std::int64_t nt = (n + kNC - 1) / kNC;
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(mt * nt),
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        static thread_local AlignedScratch a_scratch, b_scratch;
+        float* apack = a_scratch.get(static_cast<std::size_t>(kMC * kKC));
+        float* bpack = b_scratch.get(static_cast<std::size_t>(kKC * kNC));
+        for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          const std::int64_t i0 = static_cast<std::int64_t>(t) / nt * kMC;
+          const std::int64_t j0 = static_cast<std::int64_t>(t) % nt * kNC;
+          const std::int64_t mb = std::min(kMC, m - i0);
+          const std::int64_t nb = std::min(kNC, n - j0);
+          for (std::int64_t k0 = 0; k0 < k; k0 += kKC) {
+            const std::int64_t kc = std::min(kKC, k - k0);
+            const bool overwrite = !accumulate && k0 == 0;
+            pack_a(a, i0, k0, mb, kc, apack);
+            pack_b(b, k0, j0, kc, nb, bpack);
+            for (std::int64_t jp = 0; jp < nb; jp += kNR) {
+              const std::int64_t nr = std::min(kNR, nb - jp);
+              for (std::int64_t ip = 0; ip < mb; ip += kMR) {
+                const std::int64_t mr = std::min(kMR, mb - ip);
+                micro_kernel(apack + ip * kc, bpack + jp * kc, kc,
+                             c + (i0 + ip) * ldc + j0 + jp, ldc, mr, nr,
+                             overwrite);
+              }
+            }
+          }
+          if (ep != GemmEpilogue::kNone) {
+            epilogue_tile(c + i0 * ldc + j0, ldc, mb, nb, bias + j0, ep);
+          }
+        }
+      },
+      /*grain=*/1);
 }
 
 void check_2d(const Tensor& t, const char* name) {
@@ -53,29 +281,8 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
   MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
-  if (!accumulate) c.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-
-  const std::int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
-  ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(row_blocks),
-      [&](std::size_t bm_begin, std::size_t bm_end) {
-        for (std::size_t bm = bm_begin; bm < bm_end; ++bm) {
-          const std::int64_t i0 = static_cast<std::int64_t>(bm) * kBlockM;
-          const std::int64_t mb = std::min(kBlockM, m - i0);
-          for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-            const std::int64_t kb = std::min(kBlockK, k - k0);
-            for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-              const std::int64_t nb = std::min(kBlockN, n - j0);
-              kernel_nn(pa + i0 * k + k0, pb + k0 * n + j0, pc + i0 * n + j0,
-                        k, n, n, mb, nb, kb);
-            }
-          }
-        }
-      },
-      /*grain=*/1);
+  gemm_driver({a.data(), k, false}, {b.data(), n, false}, c.data(), n, m, n,
+              k, accumulate, nullptr, GemmEpilogue::kNone);
 }
 
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -85,28 +292,8 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   MPIPE_EXPECTS(b.dim(1) == k, "inner dimension mismatch");
   MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
-  if (!accumulate) c.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-
-  ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(m),
-      [&](std::size_t i_begin, std::size_t i_end) {
-        for (std::size_t i = i_begin; i < i_end; ++i) {
-          const float* arow = pa + static_cast<std::int64_t>(i) * k;
-          float* crow = pc + static_cast<std::int64_t>(i) * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            double acc = 0.0;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              acc += static_cast<double>(arow[kk]) * brow[kk];
-            }
-            crow[j] += static_cast<float>(acc);
-          }
-        }
-      },
-      /*grain=*/8);
+  gemm_driver({a.data(), k, false}, {b.data(), k, true}, c.data(), n, m, n,
+              k, accumulate, nullptr, GemmEpilogue::kNone);
 }
 
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -116,29 +303,32 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
   MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
-  if (!accumulate) c.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
+  gemm_driver({a.data(), m, true}, {b.data(), n, false}, c.data(), n, m, n,
+              k, accumulate, nullptr, GemmEpilogue::kNone);
+}
 
-  // Parallelise over output rows (columns of A); each row of C is a
-  // reduction over the k rows of A and B, touched stride-m / stride-n.
-  ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(m),
-      [&](std::size_t i_begin, std::size_t i_end) {
-        for (std::size_t i = i_begin; i < i_end; ++i) {
-          float* crow = pc + static_cast<std::int64_t>(i) * n;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aki = pa[kk * m + static_cast<std::int64_t>(i)];
-            if (aki == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-              crow[j] += aki * brow[j];
-            }
-          }
-        }
-      },
-      /*grain=*/8);
+void gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   GemmEpilogue epilogue, Tensor& c) {
+  check_2d(a, "A");
+  check_2d(b, "B");
+  check_2d(c, "C");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  const float* bias_ptr = nullptr;
+  if (epilogue != GemmEpilogue::kNone) {
+    MPIPE_EXPECTS(bias.defined() && bias.shape().rank() == 1 &&
+                      bias.dim(0) == n,
+                  "bias length must equal output columns");
+    bias_ptr = bias.data();
+  }
+  gemm_driver({a.data(), k, false}, {b.data(), n, false}, c.data(), n, m, n,
+              k, /*accumulate=*/false, bias_ptr, epilogue);
+}
+
+void gemm_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
+               Tensor& c) {
+  gemm_bias_act(a, b, bias, GemmEpilogue::kBias, c);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -1,12 +1,23 @@
 #pragma once
 /// \file gemm.h
-/// Blocked, multithreaded single-precision GEMM variants. These carry all
-/// expert/gating compute; the cache-blocked kernel with a parallel_for over
-/// row panels keeps the functional phase fast enough for 64-device runs.
+/// Packed, register-blocked, multithreaded single-precision GEMM. All three
+/// transpose variants route through one micro-kernel over panels packed into
+/// thread-local aligned buffers (nt/tn transpose at pack time), and the
+/// FFN-facing entry points fuse the bias/activation epilogue into the last
+/// pass over C. These kernels carry all expert/gating compute; see
+/// src/tensor/README.md for the design and measured throughput.
 
 #include "tensor/tensor.h"
 
 namespace mpipe {
+
+/// Epilogue fused into the final write of each output tile.
+enum class GemmEpilogue {
+  kNone,      ///< C = A*B (plain accumulate)
+  kBias,      ///< C = A*B + bias (bias broadcast over rows)
+  kBiasReLU,  ///< C = relu(A*B + bias)
+  kBiasGELU,  ///< C = gelu(A*B + bias), tanh approximation
+};
 
 /// C = A(MxK) * B(KxN)          (+ C if accumulate)
 void gemm(const Tensor& a, const Tensor& b, Tensor& c,
@@ -19,6 +30,16 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c,
 /// C = A^T(KxM) * B(KxN)        (+ C if accumulate)
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c,
              bool accumulate = false);
+
+/// C = epilogue(A(MxK) * B(KxN) + bias). The bias (length N) and activation
+/// are applied tile-by-tile while C is still hot, so FFN1's bias+ReLU/GELU
+/// and FFN2's bias take no separate pass over the activations.
+void gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   GemmEpilogue epilogue, Tensor& c);
+
+/// C = A(MxK) * B(KxN) + bias — gemm_bias_act with the kBias epilogue.
+void gemm_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
+               Tensor& c);
 
 /// Returns A*B as a fresh tensor.
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -92,9 +92,7 @@ Tensor gelu(const Tensor& x) {
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const float v = px[i];
-          const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
-          po[i] = 0.5f * v * (1.0f + t);
+          po[i] = gelu_scalar(px[i]);
         }
       },
       /*grain=*/4096);

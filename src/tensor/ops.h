@@ -4,9 +4,19 @@
 /// Each forward/backward pair is finite-difference tested in
 /// tests/test_tensor_ops.cpp.
 
+#include <cmath>
+
 #include "tensor/tensor.h"
 
 namespace mpipe {
+
+/// Scalar tanh-approximation GELU. Shared by the elementwise kernel and the
+/// fused GEMM epilogue — the two paths must stay bit-identical.
+inline float gelu_scalar(float v) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float t = std::tanh(kC * (v + 0.044715f * v * v * v));
+  return 0.5f * v * (1.0f + t);
+}
 
 // ---- elementwise ----------------------------------------------------------
 

@@ -98,7 +98,7 @@ TEST_P(DispatcherPlan, OrderIsSortedByExpertAndCoversChunk) {
   }
 }
 
-TEST_P(DispatcherPlan, ExpertRowsPartitionTheReceiveBuffer) {
+TEST_P(DispatcherPlan, ExpertSpansPartitionTheReceiveBuffer) {
   const auto plan = make_plan();
   const auto& c = GetParam();
   for (const auto& part : plan.parts) {
@@ -107,14 +107,18 @@ TEST_P(DispatcherPlan, ExpertRowsPartitionTheReceiveBuffer) {
           static_cast<std::size_t>(part.recv_rows[static_cast<std::size_t>(
               d)]),
           false);
-      for (const auto& rows :
-           part.expert_rows[static_cast<std::size_t>(d)]) {
-        for (std::int64_t r : rows) {
-          ASSERT_GE(r, 0);
-          ASSERT_LT(r, part.recv_rows[static_cast<std::size_t>(d)]);
-          EXPECT_FALSE(seen[static_cast<std::size_t>(r)])
-              << "row assigned to two experts";
-          seen[static_cast<std::size_t>(r)] = true;
+      for (const auto& spans :
+           part.expert_spans[static_cast<std::size_t>(d)]) {
+        for (const RowSpan& s : spans) {
+          ASSERT_GT(s.count, 0) << "empty spans must be omitted";
+          ASSERT_GE(s.offset, 0);
+          ASSERT_LE(s.offset + s.count,
+                    part.recv_rows[static_cast<std::size_t>(d)]);
+          for (std::int64_t r = s.offset; r < s.offset + s.count; ++r) {
+            EXPECT_FALSE(seen[static_cast<std::size_t>(r)])
+                << "row assigned to two experts";
+            seen[static_cast<std::size_t>(r)] = true;
+          }
         }
       }
       for (bool s : seen) EXPECT_TRUE(s) << "receive row not owned";

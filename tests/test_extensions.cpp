@@ -53,16 +53,16 @@ TEST(GeluExpert, SplitStagesMatchFusedForward) {
   Rng rng(42);
   moe::ExpertFFN expert(4, 8, moe::ActivationKind::kGELU, rng);
   Tensor buf = random_tokens(5, 4, rng);
-  const std::vector<std::int64_t> rows = {0, 2, 4};
+  const moe::RowSpanList spans = {{0, 1}, {2, 1}, {4, 1}};
   Tensor mid_buf(Shape{5, 8}), out_split(Shape{5, 4}), out_fused(Shape{5, 4});
-  expert.forward_mid_rows(buf, rows, mid_buf);  // C1
-  expert.forward_out_rows(mid_buf, rows, out_split);  // C2
+  expert.forward_mid_rows(buf, spans, mid_buf);  // C1
+  expert.forward_out_rows(mid_buf, spans, out_split);  // C2
   Tensor mid2(Shape{5, 8});
-  expert.forward_rows(buf, rows, mid2, out_fused);
+  expert.forward_rows(buf, spans, mid2, out_fused);
   EXPECT_LT(max_abs_diff(out_split, out_fused), 1e-5f);
   // Recompute (S3/S4 restore path) reproduces the stash exactly.
   Tensor mid3(Shape{5, 8});
-  expert.recompute_mid_rows(buf, rows, mid3);
+  expert.recompute_mid_rows(buf, spans, mid3);
   EXPECT_FLOAT_EQ(max_abs_diff(mid3, mid_buf), 0.0f);
 }
 

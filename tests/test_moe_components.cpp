@@ -148,14 +148,16 @@ TEST(Expert, WeightGradFiniteDifference) {
   }
 }
 
-TEST(Expert, RowIndexedMatchesDense) {
+TEST(Expert, SpanIndexedMatchesDense) {
   Rng rng(20);
   ExpertFFN expert(4, 8, ActivationKind::kReLU, rng);
   Tensor buf = random_tokens(6, 4, rng);
   Tensor mid_buf(Shape{6, 8});
   Tensor out_buf(Shape{6, 4});
+  // Rows 1 and 3..4, as two contiguous spans.
+  const RowSpanList spans = {{1, 1}, {3, 2}};
   const std::vector<std::int64_t> rows = {1, 3, 4};
-  expert.forward_rows(buf, rows, mid_buf, out_buf);
+  expert.forward_rows(buf, spans, mid_buf, out_buf);
 
   Tensor dense_in(Shape{3, 4});
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -173,14 +175,16 @@ TEST(Expert, RowIndexedMatchesDense) {
   }
   // Untouched rows stay zero.
   EXPECT_FLOAT_EQ(out_buf.slice_rows(0, 1).abs_max(), 0.0f);
+  EXPECT_FLOAT_EQ(out_buf.slice_rows(2, 3).abs_max(), 0.0f);
+  EXPECT_FLOAT_EQ(out_buf.slice_rows(5, 6).abs_max(), 0.0f);
 
   // Recompute reproduces the stored middle rows exactly.
   Tensor mid_recomputed(Shape{6, 8});
-  expert.recompute_mid_rows(buf, rows, mid_recomputed);
+  expert.recompute_mid_rows(buf, spans, mid_recomputed);
   EXPECT_FLOAT_EQ(max_abs_diff(mid_recomputed, mid_buf), 0.0f);
   // And FFN2-only matches the fused output.
   Tensor out2(Shape{6, 4});
-  expert.forward_out_rows(mid_buf, rows, out2);
+  expert.forward_out_rows(mid_buf, spans, out2);
   EXPECT_LT(max_abs_diff(out2, out_buf), 1e-6f);
 }
 

@@ -6,8 +6,11 @@
 
 #include <map>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/moe_layer.h"
 #include "core/restore.h"
+#include "tensor/gemm.h"
 #include "tensor/random_init.h"
 
 namespace mpipe {
@@ -218,6 +221,37 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(info.param.n) +
              core::to_string(info.param.strategy);
     });
+
+TEST(NestedParallelism, PipelinePartitionGemmRunsWithoutDeadlock) {
+  // The pipeline executor fans partitions out over the shared pool; each
+  // partition body then calls the packed GEMM, which issues its own
+  // parallel_for on the same pool. The pool must run the nested level
+  // inline on workers (and let the caller participate) instead of
+  // deadlocking on its own queue.
+  Rng rng(5);
+  Tensor a(Shape{96, 64}), b(Shape{64, 80});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  const Tensor want = matmul(a, b);
+
+  constexpr int kPartitions = 4;
+  std::vector<Tensor> outs;
+  outs.reserve(kPartitions);
+  for (int p = 0; p < kPartitions; ++p) {
+    outs.emplace_back(Shape{96, 80});
+  }
+  ThreadPool::shared().parallel_for(
+      kPartitions,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          gemm(a, b, outs[p]);
+        }
+      },
+      /*grain=*/1);
+  for (const Tensor& out : outs) {
+    EXPECT_TRUE(allclose(out, want, 1e-5f, 1e-6f));
+  }
+}
 
 TEST(ScheduleOverlap, PipelineOverlapsCommAndCompute) {
   sim::Cluster cluster = sim::Cluster::dgx_a100_pod(8, 8);
