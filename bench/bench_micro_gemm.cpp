@@ -189,6 +189,67 @@ void BM_GemmBiasReluSeparate(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmBiasReluSeparate)->Arg(512)->Arg(1024);
 
+// ---- fused dW+db backward epilogue vs two-pass ----------------------------
+
+/// The backward weight-grad regime: dW(dim x dim) += act^T(rows x dim) dy
+/// (rows x dim) plus db += colsum(dy), with `rows` the (often thin)
+/// micro-batch expert panel and `dim` the 512^2 weight panel.
+
+void BM_WgradDbFused(benchmark::State& state) {
+  const std::int64_t rows = state.range(0), dim = state.range(1);
+  Rng rng(1);
+  Tensor act(Shape{rows, dim}), dy(Shape{rows, dim});
+  Tensor gw(Shape{dim, dim}), gb(Shape{dim});
+  init_normal(act, rng);
+  init_normal(dy, rng);
+  for (auto _ : state) {
+    gemm_tn_bias_grad(act, dy, gw, gb, /*accumulate=*/true);
+    benchmark::DoNotOptimize(gw.data());
+    benchmark::DoNotOptimize(gb.data());
+  }
+  flops_counter(state, dim, dim, rows);
+}
+BENCHMARK(BM_WgradDbFused)->Args({64, 512})->Args({512, 512});
+
+/// Pre-epilogue two-pass form: the dW GEMM, then a separate full pass
+/// over dy for db (bias_backward allocates and reduces, add_ accumulates).
+void BM_WgradDbUnfused(benchmark::State& state) {
+  const std::int64_t rows = state.range(0), dim = state.range(1);
+  Rng rng(1);
+  Tensor act(Shape{rows, dim}), dy(Shape{rows, dim});
+  Tensor gw(Shape{dim, dim}), gb(Shape{dim});
+  init_normal(act, rng);
+  init_normal(dy, rng);
+  for (auto _ : state) {
+    gemm_tn(act, dy, gw, /*accumulate=*/true);
+    add_(gb, bias_backward(dy));
+    benchmark::DoNotOptimize(gw.data());
+    benchmark::DoNotOptimize(gb.data());
+  }
+  flops_counter(state, dim, dim, rows);
+}
+BENCHMARK(BM_WgradDbUnfused)->Args({64, 512})->Args({512, 512});
+
+/// The seed repo's backward: pre-rewrite scalar TN kernel for dW, then
+/// the separate db pass — the "unfused two-pass backward" the fused
+/// epilogue replaces end to end.
+void BM_WgradDbScalarTwoPass(benchmark::State& state) {
+  const std::int64_t rows = state.range(0), dim = state.range(1);
+  Rng rng(1);
+  Tensor act(Shape{rows, dim}), dy(Shape{rows, dim});
+  Tensor gw(Shape{dim, dim}), gb(Shape{dim});
+  init_normal(act, rng);
+  init_normal(dy, rng);
+  for (auto _ : state) {
+    scalar_gemm_tn(act, dy, gw);
+    add_(gb, bias_backward(dy));
+    benchmark::DoNotOptimize(gw.data());
+    benchmark::DoNotOptimize(gb.data());
+  }
+  flops_counter(state, dim, dim, rows);
+}
+BENCHMARK(BM_WgradDbScalarTwoPass)->Args({64, 512})->Args({512, 512});
+
 // ---- pre-rewrite scalar baselines -----------------------------------------
 
 void BM_ScalarGemmNN(benchmark::State& state) {

@@ -1,0 +1,151 @@
+/// Cost-model calibration harness: times the real packed GEMM across a
+/// micro-batch row sweep, fits the piecewise-linear efficiency curve
+/// (sim/calibration.h), persists it as CALIBRATION_gemm.csv, then reloads
+/// it into a CostModelConfig and reports how the calibrated model tracks
+/// the measurements — including how it re-ranks the granularity-search
+/// candidates relative to the hand-tuned analytic curve.
+///
+/// Usage: calibrate_cost_model [out.csv] [d_model] [d_hidden]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/granularity_search.h"
+#include "sim/calibration.h"
+#include "tensor/gemm.h"
+#include "tensor/random_init.h"
+
+namespace {
+
+using namespace mpipe;
+
+double time_gemm_seconds(std::int64_t rows, std::int64_t m, std::int64_t h) {
+  Rng rng(17);
+  Tensor a(Shape{rows, m}), b(Shape{m, h}), c(Shape{rows, h});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  gemm(a, b, c);  // warm up: page in buffers, spin up the pool
+
+  // Repeat until the batch takes >= 30 ms, then report best-of-3 batches
+  // (least-noise estimator, same policy as the fit's duplicate handling).
+  const double target = 0.03;
+  int reps = 1;
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (;;) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) gemm(a, b, c);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      if (dt.count() >= target || reps >= (1 << 24)) {
+        best = std::min(best, dt.count() / reps);
+        break;
+      }
+      reps = dt.count() <= 0.0
+                 ? reps * 16
+                 : static_cast<int>(reps * std::max(2.0, 1.3 * target /
+                                                             dt.count()));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "CALIBRATION_gemm.csv";
+  const std::int64_t d_model = argc > 2 ? std::atoll(argv[2]) : 256;
+  const std::int64_t d_hidden = argc > 3 ? std::atoll(argv[3]) : 1024;
+
+  const std::vector<std::int64_t> sweep = {1,  2,   4,   8,   16,  32,  64,
+                                           96, 128, 192, 256, 384, 512, 768,
+                                           1024, 1536, 2048};
+
+  sim::CostModelConfig base;  // hand-tuned defaults, for the comparison
+
+  std::printf("== calibrate_cost_model: FFN1 shape (rows x %lld) x (%lld x "
+              "%lld) ==\n",
+              static_cast<long long>(d_model),
+              static_cast<long long>(d_model),
+              static_cast<long long>(d_hidden));
+  std::vector<sim::GemmSample> samples;
+  for (std::int64_t rows : sweep) {
+    sim::GemmSample s;
+    s.rows = rows;
+    s.flops = gemm_flops(rows, d_hidden, d_model);
+    s.seconds = time_gemm_seconds(rows, d_model, d_hidden);
+    // Condition out timer noise: a strictly larger GEMM cannot genuinely
+    // finish sooner, so an observed inversion is measurement jitter.
+    if (!samples.empty()) {
+      s.seconds = std::max(s.seconds, samples.back().seconds);
+    }
+    std::printf("  rows %5lld: %10.1f us  %7.2f GFLOP/s\n",
+                static_cast<long long>(rows), s.seconds * 1e6,
+                static_cast<double>(s.flops) / s.seconds * 1e-9);
+    samples.push_back(s);
+  }
+
+  sim::GemmEfficiencyCurve curve =
+      sim::fit_efficiency_curve(samples, base.gemm_max_efficiency);
+  sim::save_efficiency_curve(out_path, curve);
+  std::printf("wrote %s (%zu knots)\n", out_path.c_str(), curve.rows.size());
+
+  // Reload through the same path users take, with the coverage assert fed
+  // by the granularity search's own row-range computation.
+  const std::vector<int> candidates = {1, 2, 4, 8};
+  const auto range = mpipe::core::GranularitySearcher::row_range(
+      sweep.front() * candidates.back(), sweep.back(), candidates);
+  sim::CostModelConfig calibrated = sim::apply_calibration(
+      base, sim::load_efficiency_curve(out_path), range.first, range.second);
+  sim::CostModel model(calibrated, sim::Topology(sim::TopologyConfig{}));
+  sim::CostModel analytic(base, sim::Topology(sim::TopologyConfig{}));
+
+  // Closed-loop check: predicted seconds vs the measurement, normalized so
+  // the comparison is scale-free (the sim's peak_flops is an A100's, this
+  // host's peak comes out of the fit: the best sample sits at efficiency
+  // gemm_max_efficiency by construction). Worst case must stay within 10%.
+  double peak_rate = 0.0;
+  for (const auto& s : samples) {
+    peak_rate = std::max(peak_rate, static_cast<double>(s.flops) / s.seconds);
+  }
+  const double scale =  // host-peak / sim-peak
+      peak_rate / (calibrated.peak_flops * calibrated.gemm_max_efficiency);
+  std::printf("\n%8s %12s %12s %10s %12s %12s\n", "rows", "meas_us",
+              "pred_us", "rel_err", "eff_fit", "eff_analytic");
+  double worst = 0.0;
+  for (const auto& s : samples) {
+    const double pred =
+        (model.gemm_seconds(s.flops, s.rows) - calibrated.compute_launch_latency) /
+        scale;
+    const double rel = std::abs(pred - s.seconds) / s.seconds;
+    worst = std::max(worst, rel);
+    std::printf("%8lld %12.1f %12.1f %9.1f%% %12.3f %12.3f\n",
+                static_cast<long long>(s.rows), s.seconds * 1e6, pred * 1e6,
+                rel * 100.0, model.gemm_efficiency(s.rows),
+                analytic.gemm_efficiency(s.rows));
+  }
+  std::printf("worst relative error: %.1f%% (acceptance: <= 10%%)\n",
+              worst * 100.0);
+
+  // How the calibration re-ranks granularities: per-candidate compute time
+  // for one pipelined FFN over B tokens is n * t_gemm(B/n) — the analytic
+  // curve's saturation shape and the measured curve can disagree on the
+  // best n.
+  const std::int64_t B = 1024;
+  std::printf("\ncompute-only ranking for B = %lld tokens (FFN1+FFN2):\n",
+              static_cast<long long>(B));
+  for (int n : candidates) {
+    const std::int64_t micro = std::max<std::int64_t>(1, B / n);
+    const std::uint64_t flops = 2 * gemm_flops(micro, d_hidden, d_model);
+    const double t_meas = n * model.gemm_seconds(flops, micro);
+    const double t_analytic = n * analytic.gemm_seconds(flops, micro);
+    std::printf("  n = %d: calibrated %9.1f us   analytic %9.1f us\n", n,
+                t_meas / scale * 1e6, t_analytic / scale * 1e6);
+  }
+  return worst <= 0.10 ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compares a fresh google-benchmark JSON against the committed trajectory.
+
+The bench host is a shared VM whose absolute speed drifts run to run, so
+the contract is two-sided rather than a plain absolute bound:
+  1. per-benchmark: fail (exit 1) when a benchmark's cpu-time-normalized
+     throughput falls more than --threshold (default 15%) below the pack
+     (the median new/base ratio) — catches kernels that individually got
+     slower;
+  2. global: fail when the median ratio itself drops below 0.80 — catches
+     across-the-board regressions (dropped flags, shared-path
+     pessimization) that per-benchmark normalization would hide. Uniform
+     slowdowns inside (0.80, 1.0) are indistinguishable from host drift
+     here and pass.
+Benchmarks only present on one side are reported but never fail the check,
+so adding or retiring benches does not break the gate.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_gemm.json \
+      --candidate new/BENCH_gemm.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rates(path):
+    """name -> cpu-time-normalized items/s (wall-clock rate scaled by
+    real/cpu so background load on the bench host cancels out). With
+    --benchmark_repetitions the best repetition wins: the check asks "can
+    the machine still reach the committed rate", and the minimum-noise
+    estimate of that is the fastest observed run."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        ips = b.get("items_per_second")
+        real = b.get("real_time")
+        cpu = b.get("cpu_time")
+        if not ips or not real or not cpu or cpu <= 0:
+            continue
+        name = b.get("run_name", b["name"])
+        rate = ips * real / cpu
+        rates[name] = max(rates.get(name, 0.0), rate)
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+    if not base:
+        print(f"note: no comparable entries in {args.baseline}; skipping")
+        return 0
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("note: no shared benchmark names; skipping")
+        return 0
+    ratios = {n: cand[n] / base[n] for n in shared}
+    # The bench host is a shared VM whose absolute speed drifts run to run;
+    # the median ratio estimates that drift, and each benchmark is judged
+    # against it. A genuine kernel regression shows up as one benchmark
+    # falling below the pack; a collapse of the pack itself (e.g. dropped
+    # optimization flags) trips the global floor.
+    med = statistics.median(ratios.values())
+    regressions = []
+    print(f"host drift factor (median new/base ratio): {med:.3f}")
+    print(f"{'benchmark':<40} {'base':>12} {'new':>12} {'ratio':>8}")
+    for name in sorted(base):
+        if name not in cand:
+            print(f"{name:<40} {base[name]:>12.3e} {'absent':>12} {'-':>8}")
+            continue
+        ratio = ratios[name]
+        flag = " REGRESSED" if ratio < (1.0 - args.threshold) * med else ""
+        print(f"{name:<40} {base[name]:>12.3e} {cand[name]:>12.3e} "
+              f"{ratio:>8.3f}{flag}")
+        if flag:
+            regressions.append((name, ratio))
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<40} {'absent':>12} {cand[name]:>12.3e} {'new':>8}")
+
+    if med < 0.8:
+        print(f"\nFAIL: throughput collapsed across the board "
+              f"(median ratio {med:.3f} < 0.80) — host drift cannot "
+              f"explain this; suspect a build/flags regression.")
+        return 1
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} below the pack (median {med:.3f}):")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.3f}x")
+        return 1
+    print(f"\nOK: no regression beyond {args.threshold:.0%} "
+          f"({len(shared)} shared entries, median ratio {med:.3f}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

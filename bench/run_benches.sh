@@ -2,14 +2,29 @@
 # Runs the micro benches and emits machine-readable results so future PRs
 # have a perf trajectory to compare against.
 #
-# Usage: bench/run_benches.sh [build_dir] [out_dir]
-#   build_dir  CMake build tree holding bench/ binaries (default: build)
-#   out_dir    where BENCH_*.json land (default: repo root)
+# Usage: bench/run_benches.sh [--check] [build_dir] [baseline_dir]
+#   --check       do not overwrite the trajectory: run a quick sweep into a
+#                 scratch dir and diff against the committed BENCH_*.json in
+#                 baseline_dir. Fails when any benchmark drops >15% below
+#                 the pack's median ratio, or the median itself drops below
+#                 0.8 (see check_bench_regression.py for the exact
+#                 contract); one automatic retry absorbs scheduler noise.
+#                 Exits 77 (CTest SKIP) if python3 or a baseline is missing.
+#   build_dir     CMake build tree holding bench/ binaries (default: build)
+#   baseline_dir  where BENCH_*.json live; in normal mode results are
+#                 written here (default: repo root)
 
 set -euo pipefail
 
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
 if [[ ! -x "${BUILD_DIR}/bench/bench_micro_gemm" ]]; then
   echo "error: ${BUILD_DIR}/bench/bench_micro_gemm not built." >&2
@@ -17,16 +32,59 @@ if [[ ! -x "${BUILD_DIR}/bench/bench_micro_gemm" ]]; then
   exit 1
 fi
 
-mkdir -p "${OUT_DIR}"
+run_suite() {  # run_suite <name> <dest_dir> <extra args...>
+  local name="$1" dest="$2"
+  shift 2
+  echo "== ${name} (items_per_second == FLOP/s or bytes/s) =="
+  "${BUILD_DIR}/bench/${name}" \
+    --benchmark_out="${dest}/BENCH_${name#bench_micro_}.json" \
+    --benchmark_out_format=json "$@"
+}
 
-echo "== bench_micro_gemm (items_per_second == FLOP/s) =="
-"${BUILD_DIR}/bench/bench_micro_gemm" \
-  --benchmark_out="${OUT_DIR}/BENCH_gemm.json" \
-  --benchmark_out_format=json
+if [[ "${CHECK}" == "0" ]]; then
+  mkdir -p "${OUT_DIR}"
+  run_suite bench_micro_gemm "${OUT_DIR}"
+  run_suite bench_micro_alltoall "${OUT_DIR}"
+  echo "Wrote ${OUT_DIR}/BENCH_gemm.json and ${OUT_DIR}/BENCH_alltoall.json"
+  exit 0
+fi
 
-echo "== bench_micro_alltoall =="
-"${BUILD_DIR}/bench/bench_micro_alltoall" \
-  --benchmark_out="${OUT_DIR}/BENCH_alltoall.json" \
-  --benchmark_out_format=json
+# ---- --check mode ----------------------------------------------------------
 
-echo "Wrote ${OUT_DIR}/BENCH_gemm.json and ${OUT_DIR}/BENCH_alltoall.json"
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "skip: python3 not available for the regression diff" >&2
+  exit 77
+fi
+for f in BENCH_gemm.json BENCH_alltoall.json; do
+  if [[ ! -f "${OUT_DIR}/${f}" ]]; then
+    echo "skip: no committed baseline ${OUT_DIR}/${f}" >&2
+    exit 77
+  fi
+done
+
+SCRATCH="${BUILD_DIR}/bench_check"
+check_once() {
+  rm -rf "${SCRATCH}"
+  mkdir -p "${SCRATCH}"
+  # min_time 0.3 keeps even the ~140 ms/iter scalar baselines at >= 2
+  # iterations (one cold iteration skews short runs); best-of-2 reps and
+  # the checker's median normalization absorb shared-VM noise.
+  run_suite bench_micro_gemm "${SCRATCH}" \
+    --benchmark_min_time=0.3 --benchmark_repetitions=2
+  run_suite bench_micro_alltoall "${SCRATCH}" \
+    --benchmark_min_time=0.3 --benchmark_repetitions=2
+  local status=0
+  for kind in gemm alltoall; do
+    python3 "${SCRIPT_DIR}/check_bench_regression.py" \
+      --baseline "${OUT_DIR}/BENCH_${kind}.json" \
+      --candidate "${SCRATCH}/BENCH_${kind}.json" \
+      --threshold 0.15 || status=1
+  done
+  return "${status}"
+}
+
+if check_once; then
+  exit 0
+fi
+echo "== regression reported; retrying once to rule out scheduler noise =="
+check_once

@@ -138,9 +138,23 @@ void ThreadPool::parallel_for(
   if (state->error) std::rethrow_exception(state->error);
 }
 
-ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+namespace {
+
+// Construction happens in the magic static's thread-safe initializer, so
+// concurrent first calls to shared() cannot double-construct; only
+// reset_shared() mutates the slot afterwards (test hook, callers ensure
+// quiescence).
+std::unique_ptr<ThreadPool>& shared_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() { return *shared_slot(); }
+
+void ThreadPool::reset_shared(std::size_t threads) {
+  shared_slot() = std::make_unique<ThreadPool>(threads);
 }
 
 void ThreadPool::worker_loop() {

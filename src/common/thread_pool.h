@@ -51,6 +51,12 @@ class ThreadPool {
   /// Process-wide shared pool (sized to the machine).
   static ThreadPool& shared();
 
+  /// Replaces the shared pool with a fresh one of `threads` workers
+  /// (0 = machine size). Test hook for exercising kernels under specific
+  /// pool sizes (e.g. the bitwise-determinism sweep in test_runtime);
+  /// callers must ensure no parallel_for is in flight.
+  static void reset_shared(std::size_t threads);
+
  private:
   void worker_loop();
 

@@ -1,5 +1,6 @@
 #include "core/granularity_search.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
@@ -14,6 +15,27 @@ GranularitySearcher::GranularitySearcher(std::vector<int> candidates,
   for (int n : candidates_) {
     MPIPE_EXPECTS(n >= 1, "partition count must be >= 1");
   }
+}
+
+std::pair<std::int64_t, std::int64_t> GranularitySearcher::row_range(
+    std::int64_t min_tokens, std::int64_t max_tokens,
+    const std::vector<int>& candidates) {
+  MPIPE_EXPECTS(min_tokens >= 1 && max_tokens >= min_tokens,
+                "bad token range");
+  MPIPE_EXPECTS(!candidates.empty(), "no candidate partition counts");
+  std::int64_t min_n = candidates.front(), max_n = candidates.front();
+  for (int n : candidates) {
+    MPIPE_EXPECTS(n >= 1, "partition count must be >= 1");
+    min_n = std::min<std::int64_t>(min_n, n);
+    max_n = std::max<std::int64_t>(max_n, n);
+  }
+  // Each trial splits B into n partitions of ceil(B/n) rows, so the
+  // smallest panel probed is ceil(min_tokens/max_n) and the largest
+  // ceil(max_tokens/min_n) — not max_tokens itself unless 1 is a
+  // candidate.
+  const std::int64_t lo = (min_tokens + max_n - 1) / max_n;
+  const std::int64_t hi = (max_tokens + min_n - 1) / min_n;
+  return {lo, hi};
 }
 
 int GranularitySearcher::search_best(std::int64_t b) {

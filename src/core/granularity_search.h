@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/range_set.h"
@@ -39,6 +40,15 @@ class GranularitySearcher {
   /// Exhaustive argmin over candidates (searchBestGran) — exposed for the
   /// Fig-12 ablation comparing adaptive vs oracle.
   int search_best(std::int64_t b);
+
+  /// [smallest, largest] micro-batch row count Algorithm 1 can probe for
+  /// batches in [min_tokens, max_tokens] over `candidates` (each trial
+  /// splits B into n partitions of ceil-ish B/n rows). This is the row
+  /// range a calibrated cost-model efficiency curve must cover — pass it
+  /// to sim::apply_calibration so divergence fails at load time.
+  static std::pair<std::int64_t, std::int64_t> row_range(
+      std::int64_t min_tokens, std::int64_t max_tokens,
+      const std::vector<int>& candidates);
 
  private:
   std::vector<int> candidates_;

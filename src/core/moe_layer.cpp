@@ -112,6 +112,17 @@ LayerRefs MoELayer::refs() {
 int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
   if (!options_.pipeline) return 1;
   if (options_.num_partitions > 0) return options_.num_partitions;
+  const auto& curve = cluster_->cost_model().config().gemm_curve;
+  if (!curve.empty()) {
+    // A measured efficiency curve is loaded: the search must rank
+    // candidates from interpolated (not extrapolated) timings, so the
+    // probe's micro-batch row range has to sit inside the calibrated
+    // sweep. Fails with an actionable message instead of silently
+    // clamping to the nearest knot.
+    const auto range = GranularitySearcher::row_range(
+        tokens_per_device, tokens_per_device, options_.candidate_partitions);
+    curve.validate_covers(range.first, range.second);
+  }
   return searcher_->configure(tokens_per_device);
 }
 

@@ -55,9 +55,9 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   MPIPE_EXPECTS(dy.dim(0) == x.dim(0), "row count mismatch");
   // Recover the post-activation values FFN2 consumed.
   Tensor act = activation_ == ActivationKind::kReLU ? mid : gelu(mid);
-  // dW2 += act^T dy ; db2 += colsum(dy) ; dAct = dy W2^T.
-  gemm_tn(act, dy, gw2_, /*accumulate=*/true);
-  add_(gb2_, bias_backward(dy));
+  // dW2 += act^T dy and db2 += colsum(dy), fused into one pass over the
+  // packed dy panels; dAct = dy W2^T.
+  gemm_tn_bias_grad(act, dy, gw2_, gb2_, /*accumulate=*/true);
   Tensor dact(Shape{x.dim(0), d_hidden()});
   gemm_nt(dy, w2_, dact);
   // Through the activation (ReLU's mask works on post-activation values;
@@ -65,9 +65,8 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   Tensor dpre = activation_ == ActivationKind::kReLU
                     ? relu_backward(dact, mid)
                     : gelu_backward(dact, mid);
-  // dW1 += x^T dpre ; db1 += colsum(dpre) ; dx = dpre W1^T.
-  gemm_tn(x, dpre, gw1_, /*accumulate=*/true);
-  add_(gb1_, bias_backward(dpre));
+  // dW1 += x^T dpre and db1 += colsum(dpre), same fused pass; dx = dpre W1^T.
+  gemm_tn_bias_grad(x, dpre, gw1_, gb1_, /*accumulate=*/true);
   Tensor dx(Shape{x.dim(0), d_model()});
   gemm_nt(dpre, w1_, dx);
   return dx;

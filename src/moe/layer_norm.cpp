@@ -3,8 +3,152 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace mpipe::moe {
+
+namespace {
+
+#if defined(MPIPE_SIMD)
+
+using simd::kLanes;
+using simd::VF;
+
+/// One row of the forward pass: normalize, then affine. Lane-split fp32
+/// accumulation for mean/variance (8 partial sums — at least as accurate
+/// as a serial fp32 sum for the dims used here).
+void forward_row(const float* MPIPE_RESTRICT row, std::int64_t cols,
+                 const float* MPIPE_RESTRICT g, const float* MPIPE_RESTRICT b,
+                 float eps, float* MPIPE_RESTRICT n, float* MPIPE_RESTRICT o,
+                 float* inv_std_out) {
+  VF vsum = {};
+  std::int64_t c = 0;
+  for (; c + kLanes <= cols; c += kLanes) vsum += simd::load(row + c);
+  float mean = simd::hsum(vsum);
+  for (; c < cols; ++c) mean += row[c];
+  mean /= static_cast<float>(cols);
+
+  const VF vmean = simd::splat(mean);
+  VF vvar = {};
+  float var = 0.0f;
+  for (c = 0; c + kLanes <= cols; c += kLanes) {
+    const VF d = simd::load(row + c) - vmean;
+    vvar += d * d;
+  }
+  var = simd::hsum(vvar);
+  for (; c < cols; ++c) {
+    const float d = row[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(cols);
+
+  const float inv = 1.0f / std::sqrt(var + eps);
+  *inv_std_out = inv;
+  const VF vinv = simd::splat(inv);
+  for (c = 0; c + kLanes <= cols; c += kLanes) {
+    const VF nv = (simd::load(row + c) - vmean) * vinv;
+    simd::store(n + c, nv);
+    simd::store(o + c, nv * simd::load(g + c) + simd::load(b + c));
+  }
+  for (; c < cols; ++c) {
+    n[c] = (row[c] - mean) * inv;
+    o[c] = n[c] * g[c] + b[c];
+  }
+}
+
+/// One row of the backward pass. Parameter-grad accumulation happens in
+/// the caller's serial row loop (fixed order => deterministic under any
+/// thread count); this handles the dn sums and the dX write.
+void backward_row(const float* MPIPE_RESTRICT gy,
+                  const float* MPIPE_RESTRICT nr, std::int64_t cols,
+                  const float* MPIPE_RESTRICT g, float inv_std,
+                  float* MPIPE_RESTRICT gg, float* MPIPE_RESTRICT bg,
+                  float* MPIPE_RESTRICT ox) {
+  VF vsum_dn = {}, vsum_dn_n = {};
+  float sum_dn = 0.0f, sum_dn_n = 0.0f;
+  std::int64_t c = 0;
+  for (; c + kLanes <= cols; c += kLanes) {
+    const VF vgy = simd::load(gy + c);
+    const VF vn = simd::load(nr + c);
+    const VF dn = vgy * simd::load(g + c);
+    vsum_dn += dn;
+    vsum_dn_n += dn * vn;
+    simd::store(gg + c, simd::load(gg + c) + vgy * vn);
+    simd::store(bg + c, simd::load(bg + c) + vgy);
+  }
+  sum_dn = simd::hsum(vsum_dn);
+  sum_dn_n = simd::hsum(vsum_dn_n);
+  for (; c < cols; ++c) {
+    const float dn = gy[c] * g[c];
+    sum_dn += dn;
+    sum_dn_n += dn * nr[c];
+    gg[c] += gy[c] * nr[c];
+    bg[c] += gy[c];
+  }
+
+  const float invc = 1.0f / static_cast<float>(cols);
+  const float mean_dn = sum_dn * invc;
+  const float mean_dn_n = sum_dn_n * invc;
+  const VF vmean_dn = simd::splat(mean_dn);
+  const VF vmean_dn_n = simd::splat(mean_dn_n);
+  const VF vinv = simd::splat(inv_std);
+  for (c = 0; c + kLanes <= cols; c += kLanes) {
+    const VF dn = simd::load(gy + c) * simd::load(g + c);
+    simd::store(ox + c,
+                vinv * (dn - vmean_dn - simd::load(nr + c) * vmean_dn_n));
+  }
+  for (; c < cols; ++c) {
+    const float dn = gy[c] * g[c];
+    ox[c] = inv_std * (dn - mean_dn - nr[c] * mean_dn_n);
+  }
+}
+
+#else  // portable scalar fallback
+
+void forward_row(const float* row, std::int64_t cols, const float* g,
+                 const float* b, float eps, float* n, float* o,
+                 float* inv_std_out) {
+  float mean = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) mean += row[c];
+  mean /= static_cast<float>(cols);
+  float var = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float d = row[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(cols);
+  const float inv = 1.0f / std::sqrt(var + eps);
+  *inv_std_out = inv;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    n[c] = (row[c] - mean) * inv;
+    o[c] = n[c] * g[c] + b[c];
+  }
+}
+
+void backward_row(const float* gy, const float* nr, std::int64_t cols,
+                  const float* g, float inv_std, float* gg, float* bg,
+                  float* ox) {
+  float sum_dn = 0.0f, sum_dn_n = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float dn = gy[c] * g[c];
+    sum_dn += dn;
+    sum_dn_n += dn * nr[c];
+    gg[c] += gy[c] * nr[c];
+    bg[c] += gy[c];
+  }
+  const float invc = 1.0f / static_cast<float>(cols);
+  const float mean_dn = sum_dn * invc;
+  const float mean_dn_n = sum_dn_n * invc;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float dn = gy[c] * g[c];
+    ox[c] = inv_std * (dn - mean_dn - nr[c] * mean_dn_n);
+  }
+}
+
+#endif  // MPIPE_SIMD
+
+}  // namespace
 
 LayerNorm::LayerNorm(std::int64_t dim, float eps)
     : eps_(eps),
@@ -29,26 +173,17 @@ LayerNormForward LayerNorm::forward(const Tensor& x) const {
   float* pn = out.normalized.data();
   float* ps = out.inv_std.data();
   float* po = out.output.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = px + r * cols;
-    double mean = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) mean += row[c];
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double d = row[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const float inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
-    ps[r] = inv;
-    float* nrow = pn + r * cols;
-    float* orow = po + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      nrow[c] = (row[c] - static_cast<float>(mean)) * inv;
-      orow[c] = nrow[c] * pg[c] + pb[c];
-    }
-  }
+  // Rows are independent (parameters read-only), so this parallelizes
+  // without affecting the per-row arithmetic order.
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(rows),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          forward_row(px + r * cols, cols, pg, pb, eps_, pn + r * cols,
+                      po + r * cols, ps + r);
+        }
+      },
+      /*grain=*/16);
   return out;
 }
 
@@ -63,30 +198,13 @@ Tensor LayerNorm::backward(const Tensor& dy, const LayerNormForward& fwd) {
   float* pgg = gamma_grad_.data();
   float* pbg = beta_grad_.data();
   float* pdx = dx.data();
+  // Serial over rows: gamma/beta grads accumulate across rows, and a fixed
+  // row order keeps the result bitwise independent of the thread count.
+  // dX per row: dx = inv_std * (dn - mean(dn) - n * mean(dn * n)),
+  // where dn = dy * gamma.
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* gy = pdy + r * cols;
-    const float* nr = pn + r * cols;
-    float* ox = pdx + r * cols;
-    // Parameter grads.
-    for (std::int64_t c = 0; c < cols; ++c) {
-      pgg[c] += gy[c] * nr[c];
-      pbg[c] += gy[c];
-    }
-    // dX via the standard LayerNorm backward:
-    // dx = inv_std/cols * (cols*dn - sum(dn) - n * sum(dn*n)),
-    // where dn = dy * gamma.
-    double sum_dn = 0.0, sum_dn_n = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double dn = static_cast<double>(gy[c]) * pg[c];
-      sum_dn += dn;
-      sum_dn_n += dn * nr[c];
-    }
-    const double invc = 1.0 / static_cast<double>(cols);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double dn = static_cast<double>(gy[c]) * pg[c];
-      ox[c] = static_cast<float>(
-          ps[r] * (dn - sum_dn * invc - nr[c] * sum_dn_n * invc));
-    }
+    backward_row(pdy + r * cols, pn + r * cols, cols, pg, ps[r], pgg, pbg,
+                 pdx + r * cols);
   }
   return dx;
 }

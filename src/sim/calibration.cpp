@@ -1,0 +1,105 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpipe::sim {
+
+GemmEfficiencyCurve fit_efficiency_curve(std::vector<GemmSample> samples,
+                                         double max_efficiency) {
+  MPIPE_EXPECTS(samples.size() >= 2, "need at least two measured samples");
+  MPIPE_EXPECTS(max_efficiency > 0.0 && max_efficiency <= 1.0,
+                "max_efficiency must be in (0, 1]");
+  for (const GemmSample& s : samples) {
+    MPIPE_EXPECTS(s.rows >= 1 && s.seconds > 0.0 && s.flops > 0,
+                  "bad measured sample");
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const GemmSample& a, const GemmSample& b) {
+              if (a.rows != b.rows) return a.rows < b.rows;
+              return a.seconds < b.seconds;
+            });
+  // Per row count, keep the fastest run (sorted first) — repeated timings
+  // of one shape should tighten the curve, not average in outliers.
+  std::vector<GemmSample> best;
+  for (const GemmSample& s : samples) {
+    if (best.empty() || best.back().rows != s.rows) best.push_back(s);
+  }
+  MPIPE_EXPECTS(best.size() >= 2, "need samples at two distinct row counts");
+
+  double peak_rate = 0.0;
+  for (const GemmSample& s : best) {
+    peak_rate = std::max(peak_rate, static_cast<double>(s.flops) / s.seconds);
+  }
+
+  GemmEfficiencyCurve curve;
+  for (const GemmSample& s : best) {
+    const double rate = static_cast<double>(s.flops) / s.seconds;
+    double eff = max_efficiency * rate / peak_rate;
+    // Clamp so rows/eff stays non-decreasing: a bigger panel may be less
+    // efficient, but never finish the proportionally larger FLOP count
+    // sooner. (Equivalent to isotonic regression on predicted seconds.)
+    if (!curve.rows.empty()) {
+      const double cap = curve.efficiency.back() *
+                         static_cast<double>(s.rows) /
+                         static_cast<double>(curve.rows.back());
+      eff = std::min(eff, cap);
+    }
+    curve.rows.push_back(s.rows);
+    curve.efficiency.push_back(eff);
+  }
+  curve.validate();
+  return curve;
+}
+
+void save_efficiency_curve(const std::string& path,
+                           const GemmEfficiencyCurve& curve) {
+  curve.validate();
+  std::ofstream out(path);
+  MPIPE_CHECK(static_cast<bool>(out), "cannot open " + path + " for writing");
+  out << "rows,efficiency\n";
+  out.precision(17);  // round-trips a double exactly
+  for (std::size_t i = 0; i < curve.rows.size(); ++i) {
+    out << curve.rows[i] << "," << curve.efficiency[i] << "\n";
+  }
+  MPIPE_CHECK(static_cast<bool>(out), "write to " + path + " failed");
+}
+
+GemmEfficiencyCurve load_efficiency_curve(const std::string& path) {
+  std::ifstream in(path);
+  MPIPE_CHECK(static_cast<bool>(in),
+              "cannot open calibration file " + path);
+  std::string line;
+  MPIPE_CHECK(static_cast<bool>(std::getline(in, line)) &&
+                  line.rfind("rows,efficiency", 0) == 0,
+              path + ": expected 'rows,efficiency' header");
+  GemmEfficiencyCurve curve;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::int64_t r = 0;
+    double e = 0.0;
+    char comma = 0;
+    MPIPE_CHECK(static_cast<bool>(cells >> r >> comma >> e) && comma == ',',
+                path + ": malformed knot line '" + line + "'");
+    curve.rows.push_back(r);
+    curve.efficiency.push_back(e);
+  }
+  curve.validate();
+  return curve;
+}
+
+CostModelConfig apply_calibration(CostModelConfig config,
+                                  GemmEfficiencyCurve curve,
+                                  std::int64_t required_lo,
+                                  std::int64_t required_hi) {
+  curve.validate();
+  curve.validate_covers(required_lo, required_hi);
+  config.gemm_curve = std::move(curve);
+  return config;
+}
+
+}  // namespace mpipe::sim

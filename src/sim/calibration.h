@@ -1,0 +1,51 @@
+#pragma once
+/// \file calibration.h
+/// Closes the sim-vs-reality loop for the compute side of the cost model:
+/// fit a piecewise-linear GEMM efficiency curve from measured kernel
+/// timings, persist it, and install it into a CostModelConfig with an
+/// up-front coverage check against the row range the granularity search
+/// will probe. bench/calibrate_cost_model is the measuring harness; the
+/// fit/load/apply functions here are deterministic and unit-tested.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace mpipe::sim {
+
+/// One timed GEMM run at a given activation-panel row count.
+struct GemmSample {
+  std::int64_t rows = 0;
+  double seconds = 0.0;
+  std::uint64_t flops = 0;
+};
+
+/// Fits a GemmEfficiencyCurve from measured samples. The best sample
+/// defines the machine's achievable peak and maps to `max_efficiency`
+/// (CostModelConfig::gemm_max_efficiency), so the curve stays on the same
+/// scale as the analytic formula it replaces. Duplicate row counts keep
+/// the fastest run; knots are clamped so rows/efficiency never decreases
+/// (measured noise cannot make a bigger GEMM look faster end-to-end).
+GemmEfficiencyCurve fit_efficiency_curve(std::vector<GemmSample> samples,
+                                         double max_efficiency);
+
+/// Writes the curve as two-column CSV ("rows,efficiency"), one knot per
+/// line — the file bench/calibrate_cost_model emits.
+void save_efficiency_curve(const std::string& path,
+                           const GemmEfficiencyCurve& curve);
+
+/// Reads a curve written by save_efficiency_curve and validates it.
+GemmEfficiencyCurve load_efficiency_curve(const std::string& path);
+
+/// Installs `curve` into `config`, validating structure and that the
+/// knots cover [required_lo, required_hi] — the micro-batch row range the
+/// granularity search will probe (see GranularitySearcher::row_range).
+/// Throws CheckError with an actionable message otherwise.
+CostModelConfig apply_calibration(CostModelConfig config,
+                                  GemmEfficiencyCurve curve,
+                                  std::int64_t required_lo,
+                                  std::int64_t required_hi);
+
+}  // namespace mpipe::sim

@@ -1,22 +1,88 @@
 #include "sim/cost_model.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 
 namespace mpipe::sim {
 
+std::int64_t GemmEfficiencyCurve::min_rows() const {
+  MPIPE_EXPECTS(!empty(), "empty efficiency curve");
+  return rows.front();
+}
+
+std::int64_t GemmEfficiencyCurve::max_rows() const {
+  MPIPE_EXPECTS(!empty(), "empty efficiency curve");
+  return rows.back();
+}
+
+double GemmEfficiencyCurve::eval(std::int64_t r) const {
+  MPIPE_EXPECTS(!empty(), "empty efficiency curve");
+  if (r <= rows.front()) return efficiency.front();
+  if (r >= rows.back()) return efficiency.back();
+  const auto it = std::upper_bound(rows.begin(), rows.end(), r);
+  const std::size_t hi = static_cast<std::size_t>(it - rows.begin());
+  const std::size_t lo = hi - 1;
+  const double t = static_cast<double>(r - rows[lo]) /
+                   static_cast<double>(rows[hi] - rows[lo]);
+  return efficiency[lo] + t * (efficiency[hi] - efficiency[lo]);
+}
+
+void GemmEfficiencyCurve::validate() const {
+  MPIPE_EXPECTS(rows.size() == efficiency.size(),
+                "efficiency curve: rows/efficiency length mismatch");
+  MPIPE_EXPECTS(rows.size() >= 2,
+                "efficiency curve needs at least two knots");
+  MPIPE_EXPECTS(rows.front() >= 1, "efficiency curve rows must be >= 1");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    MPIPE_EXPECTS(efficiency[i] > 0.0 && efficiency[i] <= 1.0,
+                  "efficiency curve values must be in (0, 1]");
+    if (i == 0) continue;
+    MPIPE_EXPECTS(rows[i] > rows[i - 1],
+                  "efficiency curve rows must be strictly ascending");
+    // rows/eff non-decreasing at the knots <=> predicted GEMM seconds
+    // (flops proportional to rows) monotone everywhere on the curve. The
+    // tolerance absorbs text round-trips of fitted knots, nothing more.
+    MPIPE_EXPECTS(
+        efficiency[i] * static_cast<double>(rows[i - 1]) <=
+            efficiency[i - 1] * static_cast<double>(rows[i]) * (1 + 1e-9),
+        "efficiency curve grows superlinearly between knots " +
+            std::to_string(rows[i - 1]) + " and " + std::to_string(rows[i]) +
+            " — predicted GEMM time would shrink with more rows");
+  }
+}
+
+void GemmEfficiencyCurve::validate_covers(std::int64_t lo,
+                                          std::int64_t hi) const {
+  MPIPE_EXPECTS(lo >= 1 && hi >= lo, "bad required row range");
+  MPIPE_EXPECTS(!empty(),
+                "no calibrated GEMM efficiency curve loaded, but a measured "
+                "curve covering rows [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) +
+                    "] is required");
+  MPIPE_EXPECTS(
+      min_rows() <= lo && max_rows() >= hi,
+      "calibrated GEMM efficiency curve covers rows [" +
+          std::to_string(min_rows()) + ", " + std::to_string(max_rows()) +
+          "] but the granularity search will probe rows [" +
+          std::to_string(lo) + ", " + std::to_string(hi) +
+          "] — re-run bench/calibrate_cost_model with a wider row sweep");
+}
+
 CostModel::CostModel(CostModelConfig config, Topology topology)
-    : config_(config), topology_(std::move(topology)) {
+    : config_(std::move(config)), topology_(std::move(topology)) {
   MPIPE_EXPECTS(config_.peak_flops > 0, "peak_flops must be positive");
   MPIPE_EXPECTS(config_.gemm_half_sat_rows > 0, "half_sat must be positive");
   MPIPE_EXPECTS(config_.gemm_max_efficiency > 0 &&
                     config_.gemm_max_efficiency <= 1.0,
                 "efficiency bound must be in (0, 1]");
+  if (!config_.gemm_curve.empty()) config_.gemm_curve.validate();
 }
 
 double CostModel::gemm_efficiency(std::int64_t rows) const {
   MPIPE_EXPECTS(rows > 0, "gemm with no rows");
+  if (!config_.gemm_curve.empty()) return config_.gemm_curve.eval(rows);
   const double r = static_cast<double>(rows);
   return config_.gemm_max_efficiency * r / (r + config_.gemm_half_sat_rows);
 }

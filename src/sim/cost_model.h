@@ -14,6 +14,34 @@
 
 namespace mpipe::sim {
 
+/// Piecewise-linear measured GEMM efficiency, rows -> efficiency in
+/// (0, 1]. Fitted from real kernel timings (see sim/calibration.h and
+/// bench/calibrate_cost_model); an empty curve means "use the analytic
+/// saturation formula". Knots must keep rows/efficiency non-decreasing so
+/// predicted GEMM time never shrinks as the panel grows — fit functions
+/// enforce this, validate() rejects hand-built curves that don't.
+struct GemmEfficiencyCurve {
+  std::vector<std::int64_t> rows;  ///< strictly ascending knot positions
+  std::vector<double> efficiency;  ///< same length, each in (0, 1]
+
+  bool empty() const { return rows.empty(); }
+  std::int64_t min_rows() const;
+  std::int64_t max_rows() const;
+
+  /// Piecewise-linear interpolation, clamped to the end knots.
+  double eval(std::int64_t r) const;
+
+  /// Structural checks (ascending rows, efficiency range, monotone
+  /// rows/efficiency ratio). Throws CheckError with a clear message.
+  void validate() const;
+
+  /// Throws CheckError unless the knots span [lo, hi] — call this at
+  /// calibration-load time with the micro-batch row range the granularity
+  /// search will probe, so a stale or truncated curve fails loudly
+  /// instead of silently extrapolating.
+  void validate_covers(std::int64_t lo, std::int64_t hi) const;
+};
+
 struct CostModelConfig {
   /// Peak dense throughput of one device (FLOP/s). A100 TF32 ≈ 156 TFLOPS;
   /// the paper uses Tensor Cores, absolute scale cancels out in speedups.
@@ -31,6 +59,10 @@ struct CostModelConfig {
   double p2p_launch_latency = 5.0e-6;
   /// Per-memcpy fixed overhead (s).
   double memcpy_launch_latency = 6.0e-6;
+  /// Measured GEMM efficiency curve; when non-empty it replaces the
+  /// analytic eff(rows) formula above. Load via sim::apply_calibration so
+  /// coverage of the probed row range is asserted up front.
+  GemmEfficiencyCurve gemm_curve;
 };
 
 class CostModel {

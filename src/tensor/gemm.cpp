@@ -206,13 +206,34 @@ void epilogue_tile(float* MPIPE_RESTRICT c, std::int64_t ldc,
   }
 }
 
+/// bias_grad[j0+j] += colsum of one packed B panel (kc x nb, zero-padded
+/// NR-column micro panels). Padding columns sum to zero, so the inner loop
+/// runs full kNR lanes and only the write-back respects the ragged edge.
+void reduce_b_panel(const float* MPIPE_RESTRICT bpack, std::int64_t kc,
+                    std::int64_t nb, float* MPIPE_RESTRICT bias_grad) {
+  for (std::int64_t jp = 0; jp < nb; jp += kNR) {
+    const float* MPIPE_RESTRICT panel = bpack + jp * kc;
+    float acc[kNR] = {};
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const float* MPIPE_RESTRICT brow = panel + kk * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) acc[j] += brow[j];
+    }
+    const std::int64_t nr = std::min(kNR, nb - jp);
+    for (std::int64_t j = 0; j < nr; ++j) bias_grad[jp + j] += acc[j];
+  }
+}
+
 /// Shared driver: parallelizes over the M x N tile grid; each task packs
 /// its own A/B panels into thread-local scratch and runs the micro-kernel
-/// over every K slice before applying the epilogue to its tile.
+/// over every K slice before applying the epilogue to its tile. When
+/// `bias_grad` is set, the i0 == 0 task of each column range additionally
+/// accumulates colsum(B) from the packed panels it already holds; K slices
+/// reduce in order inside that one task, keeping the sum deterministic
+/// under any thread count.
 void gemm_driver(const MatView& a, const MatView& b, float* c,
                  std::int64_t ldc, std::int64_t m, std::int64_t n,
                  std::int64_t k, bool accumulate, const float* bias,
-                 GemmEpilogue ep) {
+                 GemmEpilogue ep, float* bias_grad = nullptr) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
     for (std::int64_t i = 0; i < m; ++i) {
@@ -244,6 +265,9 @@ void gemm_driver(const MatView& a, const MatView& b, float* c,
             const bool overwrite = !accumulate && k0 == 0;
             pack_a(a, i0, k0, mb, kc, apack);
             pack_b(b, k0, j0, kc, nb, bpack);
+            if (bias_grad != nullptr && i0 == 0) {
+              reduce_b_panel(bpack, kc, nb, bias_grad + j0);
+            }
             for (std::int64_t jp = 0; jp < nb; jp += kNR) {
               const std::int64_t nr = std::min(kNR, nb - jp);
               for (std::int64_t ip = 0; ip < mb; ip += kMR) {
@@ -305,6 +329,21 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
   gemm_driver({a.data(), m, true}, {b.data(), n, false}, c.data(), n, m, n,
               k, accumulate, nullptr, GemmEpilogue::kNone);
+}
+
+void gemm_tn_bias_grad(const Tensor& a, const Tensor& b, Tensor& c,
+                       Tensor& bias_grad, bool accumulate) {
+  check_2d(a, "A");
+  check_2d(b, "B");
+  check_2d(c, "C");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  MPIPE_EXPECTS(b.dim(0) == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  MPIPE_EXPECTS(bias_grad.defined() && bias_grad.shape().rank() == 1 &&
+                    bias_grad.dim(0) == n,
+                "bias_grad length must equal output columns");
+  gemm_driver({a.data(), m, true}, {b.data(), n, false}, c.data(), n, m, n,
+              k, accumulate, nullptr, GemmEpilogue::kNone, bias_grad.data());
 }
 
 void gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,

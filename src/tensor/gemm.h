@@ -31,6 +31,17 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c,
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c,
              bool accumulate = false);
 
+/// C = A^T(KxM) * B(KxN) (+ C if accumulate), and bias_grad[j] +=
+/// sum_k B[k][j]. This is the weight-grad shape (dW = X^T dY) with the
+/// bias gradient (db = colsum(dY)) folded into the same pass: the column
+/// reduction rides the packed B micro-panels while they are cache-hot, so
+/// the backward takes no separate pass over dY. `bias_grad` (length N)
+/// always accumulates — zero it first for a fresh gradient. Exactly one
+/// task owns each column range, with K slices reduced in order, so the
+/// result is bitwise independent of the thread count.
+void gemm_tn_bias_grad(const Tensor& a, const Tensor& b, Tensor& c,
+                       Tensor& bias_grad, bool accumulate = false);
+
 /// C = epilogue(A(MxK) * B(KxN) + bias). The bias (length N) and activation
 /// are applied tile-by-tile while C is still hot, so FFN1's bias+ReLU/GELU
 /// and FFN2's bias take no separate pass over the activations.

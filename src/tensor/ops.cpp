@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace mpipe {
 
@@ -148,25 +149,94 @@ Tensor bias_backward(const Tensor& dy) {
   return out;
 }
 
+namespace {
+
+/// Row-wise softmax kernel: vector max / sum / normalize with scalar exp
+/// (libm has no vector form here), scalar tail for ragged widths. The
+/// scalar fallback is the same arithmetic with kLanes = 1-style loops.
+void softmax_row(const float* MPIPE_RESTRICT in, std::int64_t cols,
+                 float* MPIPE_RESTRICT o) {
+#if defined(MPIPE_SIMD)
+  using simd::kLanes;
+  using simd::VF;
+  float mx = in[0];
+  std::int64_t c = 0;
+  if (cols >= kLanes) {
+    VF vmx = simd::load(in);
+    for (c = kLanes; c + kLanes <= cols; c += kLanes) {
+      vmx = simd::vmax(vmx, simd::load(in + c));
+    }
+    mx = simd::hmax(vmx);
+  }
+  for (; c < cols; ++c) mx = std::max(mx, in[c]);
+  float denom = 0.0f;
+  for (c = 0; c < cols; ++c) {
+    o[c] = std::exp(in[c] - mx);
+    denom += o[c];
+  }
+  const VF vinv = simd::splat(1.0f / denom);
+  for (c = 0; c + kLanes <= cols; c += kLanes) {
+    simd::store(o + c, simd::load(o + c) * vinv);
+  }
+  const float inv = vinv[0];
+  for (; c < cols; ++c) o[c] *= inv;
+#else
+  float mx = in[0];
+  for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+  float denom = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    o[c] = std::exp(in[c] - mx);
+    denom += o[c];
+  }
+  const float inv = 1.0f / denom;
+  for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+#endif
+}
+
+/// dx = y * (dy - <dy, y>) for one row.
+void softmax_backward_row(const float* MPIPE_RESTRICT gy,
+                          const float* MPIPE_RESTRICT yy, std::int64_t cols,
+                          float* MPIPE_RESTRICT o) {
+#if defined(MPIPE_SIMD)
+  using simd::kLanes;
+  using simd::VF;
+  VF vdot = {};
+  float dot = 0.0f;
+  std::int64_t c = 0;
+  for (; c + kLanes <= cols; c += kLanes) {
+    vdot += simd::load(gy + c) * simd::load(yy + c);
+  }
+  dot = simd::hsum(vdot);
+  for (; c < cols; ++c) dot += gy[c] * yy[c];
+  const VF vd = simd::splat(dot);
+  for (c = 0; c + kLanes <= cols; c += kLanes) {
+    simd::store(o + c, simd::load(yy + c) * (simd::load(gy + c) - vd));
+  }
+  for (; c < cols; ++c) o[c] = yy[c] * (gy[c] - dot);
+#else
+  float dot = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) dot += gy[c] * yy[c];
+  for (std::int64_t c = 0; c < cols; ++c) o[c] = yy[c] * (gy[c] - dot);
+#endif
+}
+
+}  // namespace
+
 Tensor softmax_rows(const Tensor& x) {
   MPIPE_EXPECTS(x.shape().rank() == 2, "softmax_rows expects a matrix");
+  MPIPE_EXPECTS(x.dim(1) > 0, "softmax of empty rows");
   Tensor out(x.shape());
   const std::int64_t rows = x.dim(0), cols = x.dim(1);
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * cols;
-    float* o = po + r * cols;
-    float mx = in[0];
-    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
-  }
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(rows),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          softmax_row(px + r * cols, cols, po + r * cols);
+        }
+      },
+      /*grain=*/64);
   return out;
 }
 
@@ -178,18 +248,15 @@ Tensor softmax_rows_backward(const Tensor& dy, const Tensor& y) {
   const float* pdy = dy.data();
   const float* py = y.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* gy = pdy + r * cols;
-    const float* yy = py + r * cols;
-    float* o = po + r * cols;
-    double dot = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      dot += static_cast<double>(gy[c]) * yy[c];
-    }
-    for (std::int64_t c = 0; c < cols; ++c) {
-      o[c] = yy[c] * (gy[c] - static_cast<float>(dot));
-    }
-  }
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(rows),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          softmax_backward_row(pdy + r * cols, py + r * cols, cols,
+                               po + r * cols);
+        }
+      },
+      /*grain=*/64);
   return out;
 }
 

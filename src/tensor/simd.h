@@ -1,0 +1,52 @@
+#pragma once
+/// \file simd.h
+/// Shared GCC/Clang vector-extension helpers for the row-wise kernels
+/// (layer norm, softmax, reductions) — the same pattern as the GEMM
+/// micro-kernel in gemm.cpp: an explicit 8-lane float vector so the
+/// compiler emits the wide ops we want, with a portable scalar fallback
+/// elsewhere. Kernels built on these must stay numerically equivalent to
+/// their scalar formulation (lane-split accumulation is allowed); the
+/// scalar-vs-SIMD sweeps in tests/test_engine_fuzz.cpp enforce it.
+
+#include <cstdint>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MPIPE_SIMD 1
+#endif
+
+namespace mpipe::simd {
+
+#if defined(MPIPE_SIMD)
+
+inline constexpr std::int64_t kLanes = 8;
+
+/// 8 x float. alignment 4 keeps loads/stores legal on arbitrary row
+/// starts (rows of a (B, dim) tensor are not 32-byte aligned).
+typedef float VF __attribute__((vector_size(kLanes * sizeof(float)),
+                                aligned(alignof(float))));
+
+inline VF load(const float* p) { return *reinterpret_cast<const VF*>(p); }
+inline void store(float* p, VF v) { *reinterpret_cast<VF*>(p) = v; }
+inline VF splat(float x) { return VF{} + x; }
+
+inline float hsum(VF v) {
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < kLanes; ++i) s += v[i];
+  return s;
+}
+
+inline float hmax(VF v) {
+  float m = v[0];
+  for (std::int64_t i = 1; i < kLanes; ++i) m = v[i] > m ? v[i] : m;
+  return m;
+}
+
+inline VF vmax(VF a, VF b) { return a > b ? a : b; }
+
+#else
+
+inline constexpr std::int64_t kLanes = 1;
+
+#endif  // MPIPE_SIMD
+
+}  // namespace mpipe::simd

@@ -1,18 +1,26 @@
-// Randomized property tests of the discrete-event engine: for arbitrary
+// Randomized property tests of the engine and its inputs: for arbitrary
 // valid DAGs over arbitrary clusters, core invariants must hold — complete
 // execution, dependency and FIFO ordering in simulated time, busy-time
 // bounds, critical-path lower bound, interference never speeding things
-// up, and replay determinism.
+// up, and replay determinism. Plus two kernel-level sweeps: the calibrated
+// cost model against direct measured-table interpolation, and the SIMD
+// layer-norm/softmax kernels against scalar fp64 references.
 
 #include <gtest/gtest.h>
 
 #include "common/check.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <vector>
 
 #include "common/rng.h"
+#include "moe/layer_norm.h"
+#include "sim/calibration.h"
 #include "sim/cluster.h"
+#include "tensor/ops.h"
+#include "tensor/random_init.h"
 
 namespace mpipe::sim {
 namespace {
@@ -171,6 +179,242 @@ INSTANTIATE_TEST_SUITE_P(Random, EngineFuzz, testing::ValuesIn(fuzz_cases()),
                                   "d" + std::to_string(info.param.devices) +
                                   "o" + std::to_string(info.param.ops);
                          });
+
+// ---- calibrated cost model vs measured-table interpolation ----------------
+
+/// Linear interpolation of measured seconds at `r`, rescaled to `flops`
+/// (the table stores flops-proportional runs, so seconds/flops at r is
+/// the table's implied rate). Clamped like the curve.
+double table_seconds(const std::vector<GemmSample>& t, std::int64_t r,
+                     double flops) {
+  auto per_flop = [&](std::size_t i) {
+    return t[i].seconds / static_cast<double>(t[i].flops);
+  };
+  if (r <= t.front().rows) return flops * per_flop(0);
+  if (r >= t.back().rows) return flops * per_flop(t.size() - 1);
+  std::size_t hi = 1;
+  while (t[hi].rows < r) ++hi;
+  const std::size_t lo = hi - 1;
+  const double u = static_cast<double>(r - t[lo].rows) /
+                   static_cast<double>(t[hi].rows - t[lo].rows);
+  // seconds at r for a flops-proportional op, interpolated in seconds.
+  const double s_lo = per_flop(lo) * flops;
+  const double s_hi = per_flop(hi) * flops;
+  return s_lo + u * (s_hi - s_lo);
+}
+
+TEST(CostModelCalibrationFuzz, TracksMeasuredTableAndStaysMonotone) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Synthetic measured table: ascending rows with bounded spacing,
+    // physically-consistent seconds (non-decreasing in rows, efficiency
+    // moves at most 3x per knot) — what a real, conditioned sweep emits.
+    const int npts = 3 + static_cast<int>(rng.uniform_index(8));
+    const double flops_per_row = rng.uniform(1e6, 1e9);
+    std::vector<GemmSample> table;
+    std::int64_t r = 1 + static_cast<std::int64_t>(rng.uniform_index(16));
+    double seconds = rng.uniform(1e-5, 1e-3);
+    for (int i = 0; i < npts; ++i) {
+      GemmSample s;
+      s.rows = r;
+      s.flops = static_cast<std::uint64_t>(flops_per_row *
+                                           static_cast<double>(r));
+      s.seconds = seconds;
+      table.push_back(s);
+      const std::int64_t next =
+          r + 1 + static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(3 * r)));
+      // seconds grow at least proportionally to eff drop cap (<= 3x) and
+      // never shrink: eff_next/eff = (r_next/r) * (s/s_next) in [1/3, 1].
+      const double ratio = static_cast<double>(next) / static_cast<double>(r);
+      seconds *= ratio * rng.uniform(1.0, 3.0);
+      r = next;
+    }
+
+    CostModelConfig config;
+    config.compute_launch_latency = 0.0;  // isolate the efficiency curve
+    GemmEfficiencyCurve curve =
+        fit_efficiency_curve(table, config.gemm_max_efficiency);
+    config = apply_calibration(config, curve, table.front().rows,
+                               table.back().rows);
+    CostModel model(config, Topology(TopologyConfig{}));
+
+    // Host peak implied by the fit: best sample maps to max_efficiency.
+    double peak_rate = 0.0;
+    for (const auto& s : table) {
+      peak_rate = std::max(peak_rate,
+                           static_cast<double>(s.flops) / s.seconds);
+    }
+    const double scale =
+        peak_rate / (config.peak_flops * config.gemm_max_efficiency);
+
+    const std::int64_t lo = table.front().rows, hi = table.back().rows;
+    double prev_seconds = -1.0;
+    for (int probe = 0; probe < 64; ++probe) {
+      const std::int64_t rr =
+          lo + static_cast<std::int64_t>(
+                   rng.uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+      const double eff = model.gemm_efficiency(rr);
+      ASSERT_GT(eff, 0.0);
+      ASSERT_LE(eff, config.gemm_max_efficiency + 1e-12);
+      const double flops = flops_per_row * static_cast<double>(rr);
+      const double pred =
+          model.gemm_seconds(static_cast<std::uint64_t>(flops), rr) / scale;
+      const double meas = table_seconds(table, rr, flops);
+      // The curve interpolates efficiency, the table interpolates
+      // seconds: identical at knots, boundedly apart between them.
+      EXPECT_NEAR(pred / meas, 1.0, 0.5)
+          << "iter " << iter << " rows " << rr;
+      (void)prev_seconds;
+    }
+    // Exactness at the knots.
+    for (const auto& s : table) {
+      const double pred = model.gemm_seconds(s.flops, s.rows) / scale;
+      EXPECT_NEAR(pred / s.seconds, 1.0, 1e-6) << "knot rows " << s.rows;
+    }
+    // Monotonicity: proportionally bigger GEMMs never get cheaper.
+    std::vector<std::int64_t> probes;
+    for (int i = 0; i < 32; ++i) {
+      probes.push_back(lo + static_cast<std::int64_t>(rng.uniform_index(
+                                static_cast<std::uint64_t>(hi - lo + 1))));
+    }
+    std::sort(probes.begin(), probes.end());
+    double last = -1.0;
+    for (std::int64_t rr : probes) {
+      const double flops = flops_per_row * static_cast<double>(rr);
+      const double t =
+          model.gemm_seconds(static_cast<std::uint64_t>(flops), rr);
+      EXPECT_GE(t, last * (1.0 - 1e-9)) << "rows " << rr;
+      last = t;
+    }
+  }
+}
+
+TEST(CostModelCalibration, CoverageAndStructureErrorsAreLoud) {
+  GemmEfficiencyCurve curve;
+  curve.rows = {8, 64, 512};
+  curve.efficiency = {0.2, 0.6, 0.9};
+  CostModelConfig config;
+  // Probing below/above the calibrated sweep must throw at load time.
+  EXPECT_THROW(apply_calibration(config, curve, 1, 512), CheckError);
+  EXPECT_THROW(apply_calibration(config, curve, 8, 1024), CheckError);
+  EXPECT_NO_THROW(apply_calibration(config, curve, 8, 512));
+  // An empty curve cannot satisfy any required range.
+  EXPECT_THROW(GemmEfficiencyCurve{}.validate_covers(1, 2), CheckError);
+  // Superlinear efficiency growth (bigger GEMM predicted faster) rejected.
+  GemmEfficiencyCurve bad;
+  bad.rows = {8, 16};
+  bad.efficiency = {0.1, 0.9};  // 9x eff on 2x rows
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
+// ---- SIMD kernels vs scalar fp64 references -------------------------------
+
+TEST(SimdEquivalenceFuzz, SoftmaxMatchesScalarReference) {
+  Rng rng(777);
+  for (int iter = 0; iter < 120; ++iter) {
+    const std::int64_t rows = static_cast<std::int64_t>(rng.uniform_index(24));
+    const std::int64_t cols =
+        1 + static_cast<std::int64_t>(rng.uniform_index(130));
+    const float sc = std::pow(10.0f, rng.uniform(-2.0, 2.0));
+    Tensor x(Shape{rows, cols});
+    init_normal(x, rng, sc);
+    Tensor y = softmax_rows(x);
+    Tensor dy(x.shape());
+    init_normal(dy, rng);
+    Tensor dx = softmax_rows_backward(dy, y);
+    for (std::int64_t rr = 0; rr < rows; ++rr) {
+      double mx = x.at(rr, 0);
+      for (std::int64_t c = 1; c < cols; ++c) {
+        mx = std::max(mx, static_cast<double>(x.at(rr, c)));
+      }
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        denom += std::exp(static_cast<double>(x.at(rr, c)) - mx);
+      }
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const double ref = std::exp(static_cast<double>(x.at(rr, c)) - mx) /
+                           denom;
+        EXPECT_NEAR(y.at(rr, c), ref, 1e-5)
+            << "rows=" << rows << " cols=" << cols;
+        dot += static_cast<double>(dy.at(rr, c)) * ref;
+      }
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const double ref =
+            static_cast<double>(y.at(rr, c)) * (dy.at(rr, c) - dot);
+        EXPECT_NEAR(dx.at(rr, c), ref, 1e-4)
+            << "rows=" << rows << " cols=" << cols;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceFuzz, LayerNormMatchesScalarReference) {
+  Rng rng(888);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::int64_t rows =
+        1 + static_cast<std::int64_t>(rng.uniform_index(20));
+    const std::int64_t dim =
+        1 + static_cast<std::int64_t>(rng.uniform_index(200));
+    moe::LayerNorm ln(dim);
+    init_normal(ln.gamma(), rng, 1.0f);
+    init_normal(ln.beta(), rng, 0.5f);
+    Tensor x(Shape{rows, dim});
+    init_normal(x, rng, std::pow(10.0f, rng.uniform(-1.0, 1.0)));
+    const auto fwd = ln.forward(x);
+    Tensor dy(x.shape());
+    init_normal(dy, rng);
+    ln.zero_grad();
+    Tensor dx = ln.backward(dy, fwd);
+
+    std::vector<double> gg(static_cast<std::size_t>(dim), 0.0);
+    std::vector<double> bg(static_cast<std::size_t>(dim), 0.0);
+    for (std::int64_t rr = 0; rr < rows; ++rr) {
+      double mean = 0.0, var = 0.0;
+      for (std::int64_t c = 0; c < dim; ++c) mean += x.at(rr, c);
+      mean /= static_cast<double>(dim);
+      for (std::int64_t c = 0; c < dim; ++c) {
+        const double d = x.at(rr, c) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(dim);
+      const double inv = 1.0 / std::sqrt(var + 1e-5);
+      double sum_dn = 0.0, sum_dn_n = 0.0;
+      for (std::int64_t c = 0; c < dim; ++c) {
+        const double n = (x.at(rr, c) - mean) * inv;
+        const double out = n * ln.gamma().at(c) + ln.beta().at(c);
+        EXPECT_NEAR(fwd.normalized.at(rr, c), n, 2e-4)
+            << "rows=" << rows << " dim=" << dim;
+        EXPECT_NEAR(fwd.output.at(rr, c), out, 2e-3)
+            << "rows=" << rows << " dim=" << dim;
+        const double dn = static_cast<double>(dy.at(rr, c)) *
+                          ln.gamma().at(c);
+        sum_dn += dn;
+        sum_dn_n += dn * n;
+        gg[static_cast<std::size_t>(c)] +=
+            static_cast<double>(dy.at(rr, c)) * n;
+        bg[static_cast<std::size_t>(c)] += dy.at(rr, c);
+      }
+      const double invc = 1.0 / static_cast<double>(dim);
+      for (std::int64_t c = 0; c < dim; ++c) {
+        const double n = (x.at(rr, c) - mean) * inv;
+        const double dn = static_cast<double>(dy.at(rr, c)) *
+                          ln.gamma().at(c);
+        const double ref =
+            inv * (dn - sum_dn * invc - n * sum_dn_n * invc);
+        EXPECT_NEAR(dx.at(rr, c), ref, 5e-3)
+            << "rows=" << rows << " dim=" << dim;
+      }
+    }
+    for (std::int64_t c = 0; c < dim; ++c) {
+      EXPECT_NEAR(ln.gamma_grad().at(c), gg[static_cast<std::size_t>(c)],
+                  5e-3);
+      EXPECT_NEAR(ln.beta_grad().at(c), bg[static_cast<std::size_t>(c)],
+                  5e-3);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace mpipe::sim

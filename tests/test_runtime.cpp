@@ -97,6 +97,49 @@ INSTANTIATE_TEST_SUITE_P(
                                : std::string("raw"));
     });
 
+TEST(TrainingDeterminism, BitwiseIdenticalLossesAcrossThreadCounts) {
+  // The GEMM tile grid, the bias-grad epilogue's column-range ownership,
+  // and the row-parallel softmax/layer-norm kernels are all designed so
+  // results never depend on how chunks land on workers. Lock that in:
+  // identical seeds must give bit-identical losses under 1, 4 and 8 pool
+  // threads. Sizes are chosen so the FFN GEMMs span multiple tiles and
+  // parallel_for actually fans out (tile grid > 1, rows > grain).
+  auto run_losses = [](std::size_t threads) {
+    ThreadPool::reset_shared(threads);
+    sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+    core::MoELayerOptions o;
+    o.d_model = 64;
+    o.d_hidden = 160;
+    o.num_experts = 4;
+    o.num_partitions = 2;
+    o.memory_reuse = true;
+    o.strategy = core::ReuseStrategy::kS1;
+    o.seed = 77;
+    core::MoELayer layer(cluster, o);
+    runtime::TrainerOptions topt;
+    topt.workload.d_model = 64;
+    topt.workload.tokens_per_device = 96;
+    topt.workload.num_devices = 4;
+    topt.workload.seed = 9;
+    topt.adam.lr = 1e-3f;
+    std::vector<double> losses;
+    runtime::Trainer trainer(layer, topt);
+    for (int i = 0; i < 5; ++i) losses.push_back(trainer.train_step());
+    return losses;
+  };
+  const auto l1 = run_losses(1);
+  const auto l4 = run_losses(4);
+  const auto l8 = run_losses(8);
+  ThreadPool::reset_shared(0);  // restore the machine-sized pool
+  ASSERT_EQ(l1.size(), l4.size());
+  ASSERT_EQ(l1.size(), l8.size());
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    // Bitwise, not approximate: EXPECT_EQ on doubles.
+    EXPECT_EQ(l1[i], l4[i]) << "step " << i;
+    EXPECT_EQ(l1[i], l8[i]) << "step " << i;
+  }
+}
+
 TEST(TrainingAdaptive, DynamicBatchesReuseSearchState) {
   sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
   core::MoELayerOptions o;
