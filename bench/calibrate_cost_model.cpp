@@ -8,12 +8,12 @@
 /// Usage: calibrate_cost_model [out.csv] [d_model] [d_hidden]
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/granularity_search.h"
 #include "sim/calibration.h"
@@ -30,29 +30,7 @@ double time_gemm_seconds(std::int64_t rows, std::int64_t m, std::int64_t h) {
   init_normal(a, rng);
   init_normal(b, rng);
   gemm(a, b, c);  // warm up: page in buffers, spin up the pool
-
-  // Repeat until the batch takes >= 30 ms, then report best-of-3 batches
-  // (least-noise estimator, same policy as the fit's duplicate handling).
-  const double target = 0.03;
-  int reps = 1;
-  double best = 1e300;
-  for (int batch = 0; batch < 3; ++batch) {
-    for (;;) {
-      const auto t0 = std::chrono::steady_clock::now();
-      for (int i = 0; i < reps; ++i) gemm(a, b, c);
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
-      if (dt.count() >= target || reps >= (1 << 24)) {
-        best = std::min(best, dt.count() / reps);
-        break;
-      }
-      reps = dt.count() <= 0.0
-                 ? reps * 16
-                 : static_cast<int>(reps * std::max(2.0, 1.3 * target /
-                                                             dt.count()));
-    }
-  }
-  return best;
+  return bench::time_best_seconds(0.03, [&] { gemm(a, b, c); });
 }
 
 }  // namespace

@@ -12,8 +12,11 @@ the contract is two-sided rather than a plain absolute bound:
      pessimization) that per-benchmark normalization would hide. Uniform
      slowdowns inside (0.80, 1.0) are indistinguishable from host drift
      here and pass.
-Benchmarks only present on one side are reported but never fail the check,
-so adding or retiring benches does not break the gate.
+A benchmark present in the committed baseline but absent from the fresh
+run fails the check with an explicit message (a silently dropped bench
+would otherwise un-gate its kernel); retiring a bench means regenerating
+the baseline in the same change. Candidate-only benchmarks are reported
+as informational, so adding benches does not break the gate.
 
 Usage:
   check_bench_regression.py --baseline BENCH_gemm.json \
@@ -62,10 +65,13 @@ def main():
         print(f"note: no comparable entries in {args.baseline}; skipping")
         return 0
 
+    missing = sorted(set(base) - set(cand))
     shared = sorted(set(base) & set(cand))
     if not shared:
-        print("note: no shared benchmark names; skipping")
-        return 0
+        print(f"FAIL: no candidate results for any of the "
+              f"{len(base)} baseline benchmarks in {args.baseline} — "
+              f"the bench run produced nothing comparable.")
+        return 1
     ratios = {n: cand[n] / base[n] for n in shared}
     # The bench host is a shared VM whose absolute speed drifts run to run;
     # the median ratio estimates that drift, and each benchmark is judged
@@ -78,7 +84,7 @@ def main():
     print(f"{'benchmark':<40} {'base':>12} {'new':>12} {'ratio':>8}")
     for name in sorted(base):
         if name not in cand:
-            print(f"{name:<40} {base[name]:>12.3e} {'absent':>12} {'-':>8}")
+            print(f"{name:<40} {base[name]:>12.3e} {'MISSING':>12} {'-':>8}")
             continue
         ratio = ratios[name]
         flag = " REGRESSED" if ratio < (1.0 - args.threshold) * med else ""
@@ -89,6 +95,14 @@ def main():
     for name in sorted(set(cand) - set(base)):
         print(f"{name:<40} {'absent':>12} {cand[name]:>12.3e} {'new':>8}")
 
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline benchmark(s) missing from "
+              f"the fresh run — a dropped bench would silently un-gate its "
+              f"kernel. Regenerate the baseline if it was retired on "
+              f"purpose:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
     if med < 0.8:
         print(f"\nFAIL: throughput collapsed across the board "
               f"(median ratio {med:.3f} < 0.80) — host drift cannot "

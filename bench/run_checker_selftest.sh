@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CTest wrapper for the regression-checker self-test: exits 77 (CTest
+# SKIP) when python3 is unavailable, mirroring bench_perf_regression.
+set -euo pipefail
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "skip: python3 not available for the checker self-test" >&2
+  exit 77
+fi
+exec python3 "${SCRIPT_DIR}/test_check_bench_regression.py"

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py — exercises the exit-status
+contract on synthetic google-benchmark JSON: pass on matched runs, fail on
+a per-benchmark regression, fail loudly (not KeyError) when a baseline
+benchmark is missing from the fresh run, fail on across-the-board
+collapse, and stay informational for candidate-only benches. Invoked from
+CTest via run_checker_selftest.sh."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_bench_regression.py")
+
+
+def bench_doc(rates):
+    """google-benchmark JSON with one iteration entry per (name, rate)."""
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "run_name": name,
+                "run_type": "iteration",
+                "items_per_second": rate,
+                "real_time": 1.0,
+                "cpu_time": 1.0,
+            }
+            for name, rate in rates.items()
+        ]
+    }
+
+
+def run_checker(tmp, base_rates, cand_rates):
+    base = os.path.join(tmp, "base.json")
+    cand = os.path.join(tmp, "cand.json")
+    with open(base, "w") as f:
+        json.dump(bench_doc(base_rates), f)
+    with open(cand, "w") as f:
+        json.dump(bench_doc(cand_rates), f)
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--baseline", base, "--candidate", cand],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(cond, label, output):
+    if not cond:
+        print(f"SELF-TEST FAIL: {label}\n--- checker output ---\n{output}")
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    steady = {"BM_A": 100.0, "BM_B": 200.0, "BM_C": 300.0}
+    with tempfile.TemporaryDirectory() as tmp:
+        code, out = run_checker(tmp, steady, steady)
+        expect(code == 0, "identical runs pass", out)
+
+        regressed = dict(steady, BM_B=100.0)  # 0.5x against a 1.0 pack
+        code, out = run_checker(tmp, steady, regressed)
+        expect(code == 1 and "REGRESSED" in out,
+               "per-benchmark regression fails", out)
+
+        dropped = {k: v for k, v in steady.items() if k != "BM_B"}
+        code, out = run_checker(tmp, steady, dropped)
+        expect(code == 1 and "missing from" in out and "BM_B" in out,
+               "baseline benchmark missing from fresh run fails loudly", out)
+
+        code, out = run_checker(tmp, steady, {})
+        expect(code == 1 and "nothing comparable" in out,
+               "empty fresh run fails loudly", out)
+
+        collapsed = {k: v * 0.5 for k, v in steady.items()}
+        code, out = run_checker(tmp, steady, collapsed)
+        expect(code == 1 and "collapsed" in out,
+               "across-the-board collapse fails", out)
+
+        uniform_drift = {k: v * 0.9 for k, v in steady.items()}
+        code, out = run_checker(tmp, steady, uniform_drift)
+        expect(code == 0, "uniform host drift within the floor passes", out)
+
+        added = dict(steady, BM_NEW=50.0)
+        code, out = run_checker(tmp, steady, added)
+        expect(code == 0 and "new" in out,
+               "candidate-only benchmark stays informational", out)
+
+        code, out = run_checker(tmp, {}, steady)
+        expect(code == 0 and "skipping" in out,
+               "empty baseline skips (nothing committed yet)", out)
+    print("all checker self-tests passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,7 +39,6 @@ std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments) {
   return mx;
 }
 
-namespace {
 double alltoall_duration(const ProcessGroup& group,
                          std::uint64_t payload_bytes) {
   // alltoall_seconds models a symmetric exchange of bytes_per_device with a
@@ -54,7 +53,6 @@ double alltoall_duration(const ProcessGroup& group,
   return group.cluster().cost_model().alltoall_seconds(bytes_per_device,
                                                        group.devices());
 }
-}  // namespace
 
 int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
              std::vector<RowSegment> segments, std::string label,

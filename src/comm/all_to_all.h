@@ -31,7 +31,15 @@ struct RowSegment {
 void apply_segments(const std::vector<RowSegment>& segments);
 
 /// Bytes the busiest participant sends (drives the collective's duration).
+/// Self-device segments are local copies and count as free.
 std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments);
+
+/// Modelled duration of a fused AllToAll where the busiest participant
+/// sends `payload_bytes` to its peers (its local share already excluded —
+/// the inverse of alltoall_seconds' (P-1)/P payload factor). Degenerate
+/// groups (size <= 1) pay only the collective launch latency.
+double alltoall_duration(const ProcessGroup& group,
+                         std::uint64_t payload_bytes);
 
 /// Appends one fused AllToAll op over the group's comm streams. Returns the
 /// op id. Row counts may be ragged across pairs (AllToAll-v semantics).

@@ -116,12 +116,24 @@ int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
   if (!curve.empty()) {
     // A measured efficiency curve is loaded: the search must rank
     // candidates from interpolated (not extrapolated) timings, so the
-    // probe's micro-batch row range has to sit inside the calibrated
-    // sweep. Fails with an actionable message instead of silently
-    // clamping to the nearest knot.
-    const auto range = GranularitySearcher::row_range(
-        tokens_per_device, tokens_per_device, options_.candidate_partitions);
+    // probe's row range has to sit inside the calibrated sweep. The
+    // schedule evaluates efficiency per expert panel (received rows split
+    // across local experts), hence expert_panel_range, not the raw
+    // micro-batch range. Fails with an actionable message instead of
+    // silently clamping to the nearest knot.
+    const auto range = GranularitySearcher::expert_panel_range(
+        tokens_per_device, tokens_per_device, options_.candidate_partitions,
+        experts_per_device());
     curve.validate_covers(range.first, range.second);
+  }
+  const auto& comm_curve = cluster_->cost_model().config().comm_curve;
+  if (!comm_curve.empty() && num_devices() >= 2) {
+    // Same contract for the comm side: the probe's AllToAll payloads must
+    // sit inside the calibrated sweep, not extrapolate past it.
+    const auto payloads = GranularitySearcher::alltoall_payload_range(
+        tokens_per_device, tokens_per_device, options_.candidate_partitions,
+        options_.d_model, num_devices());
+    comm_curve.validate_covers(payloads.first, payloads.second);
   }
   return searcher_->configure(tokens_per_device);
 }

@@ -1,11 +1,13 @@
 #include "moe/expert.h"
 
-#include <cstring>
+#include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/random_init.h"
+#include "tensor/simd.h"
 
 namespace mpipe::moe {
 
@@ -72,19 +74,55 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   return dx;
 }
 
-Tensor gather_spans(const Tensor& buf, const RowSpanList& spans) {
-  MPIPE_EXPECTS(buf.shape().rank() == 2, "span gather needs a matrix");
-  const std::int64_t cols = buf.dim(1);
-  Tensor out(Shape{span_rows(spans), cols});
-  float* dst = out.data();
-  const float* src = buf.data();
-  for (const RowSpan& s : spans) {
+namespace {
+
+/// Below this many moved floats (~128 KiB) the parallel_for dispatch costs
+/// more than the copy itself; stay serial.
+constexpr std::int64_t kParallelCopyElems = 1 << 15;
+
+/// Validates spans against `buf` and returns each span's packed-row start
+/// (exclusive prefix sum of counts). Validation happens up front so the
+/// copy loops — serial or fanned out — never throw mid-flight.
+std::vector<std::int64_t> packed_offsets(const Tensor& buf,
+                                         const RowSpanList& spans) {
+  std::vector<std::int64_t> packed(spans.size());
+  std::int64_t rows = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const RowSpan& s = spans[i];
     MPIPE_EXPECTS(s.offset >= 0 && s.count >= 0 &&
                       s.offset + s.count <= buf.dim(0),
                   "span outside buffer");
-    std::memcpy(dst, src + s.offset * cols,
-                static_cast<std::size_t>(s.count * cols) * sizeof(float));
-    dst += s.count * cols;
+    packed[i] = rows;
+    rows += s.count;
+  }
+  return packed;
+}
+
+}  // namespace
+
+Tensor gather_spans(const Tensor& buf, const RowSpanList& spans) {
+  MPIPE_EXPECTS(buf.shape().rank() == 2, "span gather needs a matrix");
+  const std::int64_t cols = buf.dim(1);
+  const std::vector<std::int64_t> packed = packed_offsets(buf, spans);
+  Tensor out(Shape{span_rows(spans), cols});
+  float* dst = out.data();
+  const float* src = buf.data();
+  auto copy_span = [&](std::size_t i) {
+    const RowSpan& s = spans[i];
+    simd::copy(dst + packed[i] * cols, src + s.offset * cols,
+               s.count * cols);
+  };
+  if (out.numel() < kParallelCopyElems) {
+    for (std::size_t i = 0; i < spans.size(); ++i) copy_span(i);
+  } else {
+    // Spans write disjoint packed ranges, so the fan-out is race-free and
+    // the result identical for any chunking.
+    ThreadPool::shared().parallel_for(
+        spans.size(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) copy_span(i);
+        },
+        /*grain=*/1);
   }
   return out;
 }
@@ -95,16 +133,47 @@ void scatter_spans(const Tensor& src, Tensor& buf, const RowSpanList& spans) {
                 "span scatter needs matching matrices");
   MPIPE_EXPECTS(src.dim(0) == span_rows(spans),
                 "scatter row count mismatch");
+  // Overlapping destination spans would make the concurrent fan-out a data
+  // race (and were order-dependent even serially) — reject them up front.
+  {
+    std::vector<const RowSpan*> sorted;
+    sorted.reserve(spans.size());
+    // Zero-count spans move nothing and cannot race, whatever their
+    // offset — only real writers enter the overlap check.
+    for (const RowSpan& s : spans) {
+      if (s.count > 0) sorted.push_back(&s);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RowSpan* a, const RowSpan* b) {
+                return a->offset < b->offset;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      MPIPE_EXPECTS(sorted[i]->offset >=
+                        sorted[i - 1]->offset + sorted[i - 1]->count,
+                    "scatter spans must cover disjoint buffer rows");
+    }
+  }
   const std::int64_t cols = buf.dim(1);
+  const std::vector<std::int64_t> packed = packed_offsets(buf, spans);
   const float* from = src.data();
   float* to = buf.data();
-  for (const RowSpan& s : spans) {
-    MPIPE_EXPECTS(s.offset >= 0 && s.count >= 0 &&
-                      s.offset + s.count <= buf.dim(0),
-                  "span outside buffer");
-    std::memcpy(to + s.offset * cols, from,
-                static_cast<std::size_t>(s.count * cols) * sizeof(float));
-    from += s.count * cols;
+  auto copy_span = [&](std::size_t i) {
+    const RowSpan& s = spans[i];
+    simd::copy(to + s.offset * cols, from + packed[i] * cols,
+               s.count * cols);
+  };
+  if (src.numel() < kParallelCopyElems) {
+    for (std::size_t i = 0; i < spans.size(); ++i) copy_span(i);
+  } else {
+    // Dispatch-plan spans cover disjoint buffer rows (the receive layout
+    // keeps (source, expert) groups contiguous and non-overlapping), so
+    // scattering them concurrently is race-free.
+    ThreadPool::shared().parallel_for(
+        spans.size(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) copy_span(i);
+        },
+        /*grain=*/1);
   }
 }
 

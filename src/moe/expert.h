@@ -78,7 +78,9 @@ class ExpertFFN {
 Tensor gather_spans(const Tensor& buf, const RowSpanList& spans);
 
 /// Scatters the packed rows of `src` back into the `spans` rows of `buf`
-/// (inverse of gather_spans).
+/// (inverse of gather_spans). Spans must cover disjoint buffer rows —
+/// dispatch plans always do — because large scatters fan the copies out
+/// across the thread pool; overlap throws CheckError.
 void scatter_spans(const Tensor& src, Tensor& buf, const RowSpanList& spans);
 
 }  // namespace mpipe::moe

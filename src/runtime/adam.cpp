@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace mpipe::runtime {
 
@@ -31,20 +33,59 @@ void Adam::step() {
       1.0f - std::pow(options_.beta1, static_cast<float>(t_));
   const float bc2 =
       1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float lr = options_.lr;
+  const float eps = options_.eps;
+  const float wd = options_.weight_decay;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     float* p = params_[i]->data();
     const float* g = grads_[i]->data();
     float* m = momentum_[i].data();
     float* v = variance_[i].data();
     const std::int64_t n = params_[i]->numel();
-    for (std::int64_t k = 0; k < n; ++k) {
-      float grad = g[k] + options_.weight_decay * p[k];
-      m[k] = options_.beta1 * m[k] + (1.0f - options_.beta1) * grad;
-      v[k] = options_.beta2 * v[k] + (1.0f - options_.beta2) * grad * grad;
-      const float m_hat = m[k] / bc1;
-      const float v_hat = v[k] / bc2;
-      p[k] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
-    }
+    // The update is elementwise (no cross-element accumulation), so any
+    // chunking across pool threads gives bit-identical results — provided
+    // every element takes the same lane path regardless of chunk
+    // boundaries. parallel_for chunks are multiples of `grain` (itself a
+    // multiple of kLanes), so the scalar tail below is always the same
+    // final n % kLanes elements no matter how many workers run.
+    auto kernel = [&](std::size_t begin, std::size_t end) {
+      std::int64_t k = static_cast<std::int64_t>(begin);
+      const std::int64_t stop = static_cast<std::int64_t>(end);
+#if defined(MPIPE_SIMD)
+      const simd::VF b1v = simd::splat(b1);
+      const simd::VF b2v = simd::splat(b2);
+      const simd::VF omb1v = simd::splat(1.0f - b1);
+      const simd::VF omb2v = simd::splat(1.0f - b2);
+      const simd::VF bc1v = simd::splat(bc1);
+      const simd::VF bc2v = simd::splat(bc2);
+      const simd::VF lrv = simd::splat(lr);
+      const simd::VF epsv = simd::splat(eps);
+      const simd::VF wdv = simd::splat(wd);
+      for (; k + simd::kLanes <= stop; k += simd::kLanes) {
+        const simd::VF gv = simd::load(g + k) + wdv * simd::load(p + k);
+        const simd::VF mv = b1v * simd::load(m + k) + omb1v * gv;
+        const simd::VF vv = b2v * simd::load(v + k) + omb2v * gv * gv;
+        simd::store(m + k, mv);
+        simd::store(v + k, vv);
+        const simd::VF m_hat = mv / bc1v;
+        const simd::VF v_hat = vv / bc2v;
+        simd::store(p + k, simd::load(p + k) -
+                               lrv * m_hat / (simd::vsqrt(v_hat) + epsv));
+      }
+#endif
+      for (; k < stop; ++k) {
+        const float grad = g[k] + wd * p[k];
+        m[k] = b1 * m[k] + (1.0f - b1) * grad;
+        v[k] = b2 * v[k] + (1.0f - b2) * grad * grad;
+        const float m_hat = m[k] / bc1;
+        const float v_hat = v[k] / bc2;
+        p[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    };
+    ThreadPool::shared().parallel_for(static_cast<std::size_t>(n), kernel,
+                                      /*grain=*/8192);
   }
 }
 

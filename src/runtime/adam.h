@@ -25,7 +25,11 @@ class Adam {
   Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
        AdamOptions options = {});
 
-  /// One update step with bias correction.
+  /// One update step with bias correction. The elementwise kernel is
+  /// 8-lane vectorized (tensor/simd.h) and fans out over the shared
+  /// ThreadPool; lane paths are pinned to absolute element positions, so
+  /// results are bit-identical for any pool size (locked in by the
+  /// determinism tests in tests/test_runtime.cpp).
   void step();
 
   /// Zeroes all bound gradients.

@@ -8,6 +8,51 @@
 
 namespace mpipe::sim {
 
+namespace {
+
+/// Shared two-column CSV round-trip for the calibration curves: integer
+/// key column, double value column, exact-precision values. Both curve
+/// kinds persist through these so format fixes cannot diverge.
+template <typename K>
+void save_two_column(const std::string& path, const char* header,
+                     const std::vector<K>& keys,
+                     const std::vector<double>& values) {
+  std::ofstream out(path);
+  MPIPE_CHECK(static_cast<bool>(out), "cannot open " + path + " for writing");
+  out << header << "\n";
+  out.precision(17);  // round-trips a double exactly
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out << keys[i] << "," << values[i] << "\n";
+  }
+  MPIPE_CHECK(static_cast<bool>(out), "write to " + path + " failed");
+}
+
+template <typename K>
+void load_two_column(const std::string& path, const char* header,
+                     std::vector<K>& keys, std::vector<double>& values) {
+  std::ifstream in(path);
+  MPIPE_CHECK(static_cast<bool>(in),
+              "cannot open calibration file " + path);
+  std::string line;
+  MPIPE_CHECK(static_cast<bool>(std::getline(in, line)) &&
+                  line.rfind(header, 0) == 0,
+              path + ": expected '" + header + "' header");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    K key{};
+    double value = 0.0;
+    char comma = 0;
+    MPIPE_CHECK(
+        static_cast<bool>(cells >> key >> comma >> value) && comma == ',',
+        path + ": malformed knot line '" + line + "'");
+    keys.push_back(key);
+    values.push_back(value);
+  }
+}
+
+}  // namespace
+
 GemmEfficiencyCurve fit_efficiency_curve(std::vector<GemmSample> samples,
                                          double max_efficiency) {
   MPIPE_EXPECTS(samples.size() >= 2, "need at least two measured samples");
@@ -58,36 +103,12 @@ GemmEfficiencyCurve fit_efficiency_curve(std::vector<GemmSample> samples,
 void save_efficiency_curve(const std::string& path,
                            const GemmEfficiencyCurve& curve) {
   curve.validate();
-  std::ofstream out(path);
-  MPIPE_CHECK(static_cast<bool>(out), "cannot open " + path + " for writing");
-  out << "rows,efficiency\n";
-  out.precision(17);  // round-trips a double exactly
-  for (std::size_t i = 0; i < curve.rows.size(); ++i) {
-    out << curve.rows[i] << "," << curve.efficiency[i] << "\n";
-  }
-  MPIPE_CHECK(static_cast<bool>(out), "write to " + path + " failed");
+  save_two_column(path, "rows,efficiency", curve.rows, curve.efficiency);
 }
 
 GemmEfficiencyCurve load_efficiency_curve(const std::string& path) {
-  std::ifstream in(path);
-  MPIPE_CHECK(static_cast<bool>(in),
-              "cannot open calibration file " + path);
-  std::string line;
-  MPIPE_CHECK(static_cast<bool>(std::getline(in, line)) &&
-                  line.rfind("rows,efficiency", 0) == 0,
-              path + ": expected 'rows,efficiency' header");
   GemmEfficiencyCurve curve;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream cells(line);
-    std::int64_t r = 0;
-    double e = 0.0;
-    char comma = 0;
-    MPIPE_CHECK(static_cast<bool>(cells >> r >> comma >> e) && comma == ',',
-                path + ": malformed knot line '" + line + "'");
-    curve.rows.push_back(r);
-    curve.efficiency.push_back(e);
-  }
+  load_two_column(path, "rows,efficiency", curve.rows, curve.efficiency);
   curve.validate();
   return curve;
 }
@@ -99,6 +120,59 @@ CostModelConfig apply_calibration(CostModelConfig config,
   curve.validate();
   curve.validate_covers(required_lo, required_hi);
   config.gemm_curve = std::move(curve);
+  return config;
+}
+
+CommBandwidthCurve fit_comm_curve(std::vector<CommSample> samples) {
+  MPIPE_EXPECTS(samples.size() >= 2, "need at least two measured samples");
+  for (const CommSample& s : samples) {
+    MPIPE_EXPECTS(s.bytes >= 1 && s.seconds > 0.0, "bad measured sample");
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const CommSample& a, const CommSample& b) {
+              if (a.bytes != b.bytes) return a.bytes < b.bytes;
+              return a.seconds < b.seconds;
+            });
+  // Per payload, keep the fastest run (sorted first) — repeated timings
+  // of one size should tighten the curve, not average in outliers.
+  std::vector<CommSample> best;
+  for (const CommSample& s : samples) {
+    if (best.empty() || best.back().bytes != s.bytes) best.push_back(s);
+  }
+  MPIPE_EXPECTS(best.size() >= 2, "need samples at two distinct payloads");
+
+  CommBandwidthCurve curve;
+  for (const CommSample& s : best) {
+    // Clamp seconds non-decreasing: a strictly larger exchange never
+    // genuinely finishes sooner, so an observed inversion is jitter.
+    const double floor_s = curve.seconds.empty() ? 0.0 : curve.seconds.back();
+    curve.bytes.push_back(s.bytes);
+    curve.seconds.push_back(std::max(s.seconds, floor_s));
+  }
+  curve.validate();
+  return curve;
+}
+
+void save_comm_curve(const std::string& path,
+                     const CommBandwidthCurve& curve) {
+  curve.validate();
+  save_two_column(path, "bytes,seconds", curve.bytes, curve.seconds);
+}
+
+CommBandwidthCurve load_comm_curve(const std::string& path) {
+  CommBandwidthCurve curve;
+  load_two_column(path, "bytes,seconds", curve.bytes, curve.seconds);
+  curve.validate();
+  return curve;
+}
+
+CostModelConfig apply_comm_calibration(CostModelConfig config,
+                                       CommBandwidthCurve curve,
+                                       std::uint64_t required_lo,
+                                       std::uint64_t required_hi) {
+  curve.validate();
+  curve.validate_covers(required_lo, required_hi);
+  config.comm_curve = std::move(curve);
   return config;
 }
 

@@ -48,4 +48,34 @@ CostModelConfig apply_calibration(CostModelConfig config,
                                   std::int64_t required_lo,
                                   std::int64_t required_hi);
 
+/// One timed AllToAll-equivalent exchange: `bytes` is the payload the
+/// busiest participant sent, `seconds` the measured wall time.
+struct CommSample {
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Fits a CommBandwidthCurve from measured samples. Duplicate payloads
+/// keep the fastest run; seconds are clamped non-decreasing (measured
+/// noise cannot make a bigger exchange look faster end-to-end).
+CommBandwidthCurve fit_comm_curve(std::vector<CommSample> samples);
+
+/// Writes the curve as two-column CSV ("bytes,seconds"), one knot per
+/// line — the file bench/calibrate_comm emits.
+void save_comm_curve(const std::string& path,
+                     const CommBandwidthCurve& curve);
+
+/// Reads a curve written by save_comm_curve and validates it.
+CommBandwidthCurve load_comm_curve(const std::string& path);
+
+/// Installs `curve` into `config`, validating structure and that the
+/// knots cover [required_lo, required_hi] — the AllToAll payload byte
+/// range the granularity search will probe (see
+/// GranularitySearcher::alltoall_payload_range). Throws CheckError with
+/// an actionable message otherwise.
+CostModelConfig apply_comm_calibration(CostModelConfig config,
+                                       CommBandwidthCurve curve,
+                                       std::uint64_t required_lo,
+                                       std::uint64_t required_hi);
+
 }  // namespace mpipe::sim

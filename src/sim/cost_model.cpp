@@ -70,6 +70,86 @@ void GemmEfficiencyCurve::validate_covers(std::int64_t lo,
           "] — re-run bench/calibrate_cost_model with a wider row sweep");
 }
 
+std::uint64_t CommBandwidthCurve::min_bytes() const {
+  MPIPE_EXPECTS(!empty(), "empty comm bandwidth curve");
+  return bytes.front();
+}
+
+std::uint64_t CommBandwidthCurve::max_bytes() const {
+  MPIPE_EXPECTS(!empty(), "empty comm bandwidth curve");
+  return bytes.back();
+}
+
+double CommBandwidthCurve::eval(std::uint64_t b) const {
+  MPIPE_EXPECTS(!empty(), "empty comm bandwidth curve");
+  if (b <= bytes.front()) return seconds.front();
+  if (b >= bytes.back()) return seconds.back();
+  const auto it = std::upper_bound(bytes.begin(), bytes.end(), b);
+  const std::size_t hi = static_cast<std::size_t>(it - bytes.begin());
+  const std::size_t lo = hi - 1;
+  const double t = static_cast<double>(b - bytes[lo]) /
+                   static_cast<double>(bytes[hi] - bytes[lo]);
+  return seconds[lo] + t * (seconds[hi] - seconds[lo]);
+}
+
+double CommBandwidthCurve::peak_rate() const {
+  MPIPE_EXPECTS(!empty(), "empty comm bandwidth curve");
+  double peak = 0.0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    peak = std::max(peak, static_cast<double>(bytes[i]) / seconds[i]);
+  }
+  return peak;
+}
+
+double CommBandwidthCurve::efficiency_at(std::uint64_t b) const {
+  return efficiency_at(b, peak_rate());
+}
+
+double CommBandwidthCurve::efficiency_at(std::uint64_t b, double peak) const {
+  // Clamp to the knot span: a payload below the sweep uses the front
+  // knot's efficiency, one above extrapolates at the back knot's average
+  // rate — both keep predicted seconds monotone in bytes.
+  const std::uint64_t bc = std::min(std::max(b, min_bytes()), max_bytes());
+  const double rate = static_cast<double>(bc) / eval(bc);
+  return std::min(1.0, rate / peak);
+}
+
+void CommBandwidthCurve::validate() const {
+  MPIPE_EXPECTS(bytes.size() == seconds.size(),
+                "comm curve: bytes/seconds length mismatch");
+  MPIPE_EXPECTS(bytes.size() >= 2, "comm curve needs at least two knots");
+  MPIPE_EXPECTS(bytes.front() >= 1, "comm curve payloads must be >= 1 byte");
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    MPIPE_EXPECTS(seconds[i] > 0.0, "comm curve seconds must be positive");
+    if (i == 0) continue;
+    MPIPE_EXPECTS(bytes[i] > bytes[i - 1],
+                  "comm curve payloads must be strictly ascending");
+    MPIPE_EXPECTS(
+        seconds[i] >= seconds[i - 1] * (1 - 1e-9),
+        "comm curve seconds shrink between payloads " +
+            std::to_string(bytes[i - 1]) + " and " +
+            std::to_string(bytes[i]) +
+            " — a bigger exchange would predict faster");
+  }
+}
+
+void CommBandwidthCurve::validate_covers(std::uint64_t lo,
+                                         std::uint64_t hi) const {
+  MPIPE_EXPECTS(lo >= 1 && hi >= lo, "bad required payload range");
+  MPIPE_EXPECTS(!empty(),
+                "no calibrated comm bandwidth curve loaded, but a measured "
+                "curve covering payloads [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) +
+                    "] bytes is required");
+  MPIPE_EXPECTS(
+      min_bytes() <= lo && max_bytes() >= hi,
+      "calibrated comm bandwidth curve covers payloads [" +
+          std::to_string(min_bytes()) + ", " + std::to_string(max_bytes()) +
+          "] bytes but the granularity search will probe payloads [" +
+          std::to_string(lo) + ", " + std::to_string(hi) +
+          "] — re-run bench/calibrate_comm with a wider payload sweep");
+}
+
 CostModel::CostModel(CostModelConfig config, Topology topology)
     : config_(std::move(config)), topology_(std::move(topology)) {
   MPIPE_EXPECTS(config_.peak_flops > 0, "peak_flops must be positive");
@@ -78,6 +158,10 @@ CostModel::CostModel(CostModelConfig config, Topology topology)
                     config_.gemm_max_efficiency <= 1.0,
                 "efficiency bound must be in (0, 1]");
   if (!config_.gemm_curve.empty()) config_.gemm_curve.validate();
+  if (!config_.comm_curve.empty()) {
+    config_.comm_curve.validate();
+    comm_peak_rate_ = config_.comm_curve.peak_rate();
+  }
 }
 
 double CostModel::gemm_efficiency(std::int64_t rows) const {
@@ -97,9 +181,16 @@ double CostModel::alltoall_seconds(std::uint64_t bytes_per_device,
                                    const std::vector<int>& group) const {
   MPIPE_EXPECTS(group.size() >= 2, "alltoall needs >= 2 participants");
   const double p = static_cast<double>(group.size());
-  const double bw = topology_.alltoall_bandwidth(group);
+  double bw = topology_.alltoall_bandwidth(group);
   const double payload =
       static_cast<double>(bytes_per_device) * (p - 1.0) / p;
+  // A calibrated curve derates the link by the measured payload-dependent
+  // efficiency (small exchanges never saturate it); the curve's shape is
+  // measured on the calibration host, the scale stays the topology's.
+  if (!config_.comm_curve.empty() && payload >= 1.0) {
+    bw *= config_.comm_curve.efficiency_at(
+        static_cast<std::uint64_t>(payload), comm_peak_rate_);
+  }
   return config_.comm_launch_latency + payload / bw;
 }
 

@@ -42,6 +42,55 @@ struct GemmEfficiencyCurve {
   void validate_covers(std::int64_t lo, std::int64_t hi) const;
 };
 
+/// Piecewise-linear measured AllToAll exchange time, payload bytes (what
+/// the busiest participant sends) -> seconds on the calibration host.
+/// Fitted from real apply_segments exchanges (see sim/calibration.h and
+/// bench/calibrate_comm); an empty curve means "use the analytic
+/// latency + bandwidth formula". Knots must keep seconds non-decreasing
+/// in bytes so a bigger exchange never predicts faster — fit functions
+/// enforce this, validate() rejects hand-built curves that don't.
+///
+/// The curve is consulted as a *shape*, not an absolute time: the best
+/// knot rate (bytes/seconds) defines the calibration host's achievable
+/// peak, and alltoall_seconds scales the topology's link bandwidth by
+/// efficiency_at(payload) = (payload / eval(payload)) / peak_rate — the
+/// same scale-free treatment GemmEfficiencyCurve gets against peak_flops.
+struct CommBandwidthCurve {
+  std::vector<std::uint64_t> bytes;  ///< strictly ascending knot payloads
+  std::vector<double> seconds;       ///< same length, positive, non-decreasing
+
+  bool empty() const { return bytes.empty(); }
+  std::uint64_t min_bytes() const;
+  std::uint64_t max_bytes() const;
+
+  /// Piecewise-linear interpolation of seconds, clamped to the end knots.
+  double eval(std::uint64_t b) const;
+
+  /// Best measured rate over the knots (bytes/s). The per-segment rate of
+  /// a monotone piecewise-linear seconds curve peaks at a knot, so this is
+  /// the curve-wide peak.
+  double peak_rate() const;
+
+  /// Achieved fraction of peak_rate() at `b`, in (0, 1]. Payloads outside
+  /// the knot span clamp to the end knots' efficiency, which extrapolates
+  /// predicted seconds linearly at the end-segment average rate. The
+  /// two-arg form takes a precomputed peak_rate() so hot callers skip the
+  /// per-call knot scan.
+  double efficiency_at(std::uint64_t b) const;
+  double efficiency_at(std::uint64_t b, double peak) const;
+
+  /// Structural checks (ascending bytes, positive non-decreasing seconds).
+  /// Throws CheckError with a clear message.
+  void validate() const;
+
+  /// Throws CheckError unless the knots span [lo, hi] — call this at
+  /// calibration-load time with the AllToAll payload range the granularity
+  /// search will probe (GranularitySearcher::alltoall_payload_range), so a
+  /// stale or truncated sweep fails loudly instead of silently
+  /// extrapolating.
+  void validate_covers(std::uint64_t lo, std::uint64_t hi) const;
+};
+
 struct CostModelConfig {
   /// Peak dense throughput of one device (FLOP/s). A100 TF32 ≈ 156 TFLOPS;
   /// the paper uses Tensor Cores, absolute scale cancels out in speedups.
@@ -63,6 +112,12 @@ struct CostModelConfig {
   /// analytic eff(rows) formula above. Load via sim::apply_calibration so
   /// coverage of the probed row range is asserted up front.
   GemmEfficiencyCurve gemm_curve;
+  /// Measured AllToAll bandwidth curve; when non-empty, alltoall_seconds
+  /// scales the topology link bandwidth by its payload-dependent
+  /// efficiency instead of assuming the link saturates at every size.
+  /// Load via sim::apply_comm_calibration so coverage of the probed
+  /// payload range is asserted up front.
+  CommBandwidthCurve comm_curve;
 };
 
 class CostModel {
@@ -101,6 +156,10 @@ class CostModel {
  private:
   CostModelConfig config_;
   Topology topology_;
+  /// peak_rate() of the calibrated comm curve, computed once at
+  /// construction (0 when no curve is loaded) — alltoall_seconds sits in
+  /// the granularity search's trial loop.
+  double comm_peak_rate_ = 0.0;
 };
 
 }  // namespace mpipe::sim

@@ -2,9 +2,10 @@
 // valid DAGs over arbitrary clusters, core invariants must hold — complete
 // execution, dependency and FIFO ordering in simulated time, busy-time
 // bounds, critical-path lower bound, interference never speeding things
-// up, and replay determinism. Plus two kernel-level sweeps: the calibrated
-// cost model against direct measured-table interpolation, and the SIMD
-// layer-norm/softmax kernels against scalar fp64 references.
+// up, and replay determinism. Plus kernel-level sweeps: the calibrated
+// cost model (GEMM efficiency and AllToAll bandwidth curves) against
+// direct measured-table interpolation, and the SIMD layer-norm/softmax/
+// gather-scatter kernels against scalar references.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "moe/expert.h"
 #include "moe/layer_norm.h"
 #include "sim/calibration.h"
 #include "sim/cluster.h"
@@ -308,7 +310,205 @@ TEST(CostModelCalibration, CoverageAndStructureErrorsAreLoud) {
   EXPECT_THROW(bad.validate(), CheckError);
 }
 
+// ---- calibrated comm model vs measured-table interpolation ----------------
+
+/// Linear interpolation of measured exchange seconds at payload `b`,
+/// clamped to the table ends — the direct reading of the measurements the
+/// CommBandwidthCurve must reproduce.
+double comm_table_seconds(const std::vector<CommSample>& t, std::uint64_t b) {
+  if (b <= t.front().bytes) return t.front().seconds;
+  if (b >= t.back().bytes) return t.back().seconds;
+  std::size_t hi = 1;
+  while (t[hi].bytes < b) ++hi;
+  const std::size_t lo = hi - 1;
+  const double u = static_cast<double>(b - t[lo].bytes) /
+                   static_cast<double>(t[hi].bytes - t[lo].bytes);
+  return t[lo].seconds + u * (t[hi].seconds - t[lo].seconds);
+}
+
+TEST(CommCalibrationFuzz, TracksMeasuredTableAndStaysMonotone) {
+  Rng rng(5353);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Synthetic measured table: ascending payloads with bounded spacing,
+    // physically-consistent seconds (a bigger exchange never faster) —
+    // what a real, conditioned sweep emits.
+    const int npts = 3 + static_cast<int>(rng.uniform_index(8));
+    std::vector<CommSample> table;
+    std::uint64_t b = 1 + rng.uniform_index(4096);
+    double seconds = rng.uniform(1e-6, 1e-3);
+    for (int i = 0; i < npts; ++i) {
+      table.push_back({b, seconds});
+      b += 1 + rng.uniform_index(3 * b);
+      seconds *= rng.uniform(1.0, 4.0);
+    }
+
+    CostModelConfig config;
+    config.comm_launch_latency = 0.0;  // isolate the bandwidth curve
+    CommBandwidthCurve curve = fit_comm_curve(table);
+    config = apply_comm_calibration(config, curve, table.front().bytes,
+                                    table.back().bytes);
+    Topology topo(TopologyConfig{});
+    CostModel model(config, topo);
+    const std::vector<int> pair = {0, 1};
+    // Group {0, 1}: payload is exactly bytes_per_device / 2, so probing
+    // payload b means passing 2b. The model predicts
+    // eval(b) * peak_rate / link_bw; divide the scale back out.
+    const double scale = curve.peak_rate() / topo.alltoall_bandwidth(pair);
+
+    const std::uint64_t lo = table.front().bytes;
+    const std::uint64_t hi = table.back().bytes;
+    // Exactness at the knots.
+    for (const auto& s : table) {
+      const double pred = model.alltoall_seconds(2 * s.bytes, pair) / scale;
+      EXPECT_NEAR(pred / s.seconds, 1.0, 1e-9) << "knot bytes " << s.bytes;
+    }
+    // Between knots the curve interpolates seconds linearly in bytes —
+    // identical to reading the table directly.
+    for (int probe = 0; probe < 64; ++probe) {
+      const std::uint64_t bb = lo + rng.uniform_index(hi - lo + 1);
+      const double pred = model.alltoall_seconds(2 * bb, pair) / scale;
+      const double meas = comm_table_seconds(table, bb);
+      EXPECT_NEAR(pred / meas, 1.0, 1e-6) << "iter " << iter << " bytes "
+                                          << bb;
+      const double eff = config.comm_curve.efficiency_at(bb);
+      ASSERT_GT(eff, 0.0);
+      ASSERT_LE(eff, 1.0);
+    }
+    // Monotonicity: bigger exchanges never get cheaper, including past the
+    // calibrated sweep where the curve extrapolates at the back knot's
+    // average rate.
+    std::vector<std::uint64_t> probes;
+    for (int i = 0; i < 32; ++i) {
+      probes.push_back(lo + rng.uniform_index(2 * (hi - lo) + 1));
+    }
+    std::sort(probes.begin(), probes.end());
+    double last = -1.0;
+    for (std::uint64_t bb : probes) {
+      const double t = model.alltoall_seconds(2 * bb, pair);
+      EXPECT_GE(t, last * (1.0 - 1e-9)) << "bytes " << bb;
+      last = t;
+    }
+  }
+}
+
+TEST(CommCalibration, CoverageAndStructureErrorsAreLoud) {
+  CommBandwidthCurve curve;
+  curve.bytes = {4096, 65536, 1048576};
+  curve.seconds = {2e-6, 2e-5, 3e-4};
+  CostModelConfig config;
+  // Probing below/above the calibrated sweep must throw at load time.
+  EXPECT_THROW(apply_comm_calibration(config, curve, 1024, 1048576),
+               CheckError);
+  EXPECT_THROW(apply_comm_calibration(config, curve, 4096, 4194304),
+               CheckError);
+  EXPECT_NO_THROW(apply_comm_calibration(config, curve, 4096, 1048576));
+  // An empty curve cannot satisfy any required range.
+  EXPECT_THROW(CommBandwidthCurve{}.validate_covers(1, 2), CheckError);
+  // Seconds shrinking with payload (bigger exchange predicted faster).
+  CommBandwidthCurve shrinking;
+  shrinking.bytes = {4096, 8192};
+  shrinking.seconds = {1e-4, 5e-5};
+  EXPECT_THROW(shrinking.validate(), CheckError);
+  // Non-ascending payloads.
+  CommBandwidthCurve unsorted;
+  unsorted.bytes = {8192, 4096};
+  unsorted.seconds = {1e-5, 1e-4};
+  EXPECT_THROW(unsorted.validate(), CheckError);
+  // One knot is not a curve.
+  CommBandwidthCurve lone;
+  lone.bytes = {4096};
+  lone.seconds = {1e-5};
+  EXPECT_THROW(lone.validate(), CheckError);
+}
+
+TEST(CommCalibration, FitKeepsFastestDuplicateAndClampsJitter) {
+  // Duplicate payloads keep the fastest run; an inversion (bigger payload
+  // measured faster) is clamped to monotone, not propagated.
+  std::vector<CommSample> samples = {
+      {100, 2e-5}, {100, 1e-5}, {200, 8e-6}, {400, 4e-5}};
+  CommBandwidthCurve curve = fit_comm_curve(samples);
+  ASSERT_EQ(curve.bytes.size(), 3u);
+  EXPECT_EQ(curve.bytes[0], 100u);
+  EXPECT_DOUBLE_EQ(curve.seconds[0], 1e-5);   // fastest duplicate
+  EXPECT_DOUBLE_EQ(curve.seconds[1], 1e-5);   // clamped up to monotone
+  EXPECT_DOUBLE_EQ(curve.seconds[2], 4e-5);
+}
+
 // ---- SIMD kernels vs scalar fp64 references -------------------------------
+
+TEST(SimdEquivalenceFuzz, GatherScatterSpansMatchScalarReference) {
+  // The vectorized (and, above the size threshold, pool-parallel) span
+  // copies must move bytes exactly like a per-element scalar loop, on
+  // ragged span lists including 0-row and 1-row spans. Late iterations use
+  // buffers big enough to cross the parallel fan-out threshold.
+  Rng rng(1212);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::int64_t rows =
+        1 + static_cast<std::int64_t>(rng.uniform_index(iter < 80 ? 48 : 600));
+    const std::int64_t cols =
+        1 + static_cast<std::int64_t>(rng.uniform_index(200));
+    Tensor buf(Shape{rows, cols});
+    init_normal(buf, rng);
+
+    // Disjoint ascending spans with gaps; 0- and 1-row spans occur often.
+    moe::RowSpanList spans;
+    std::int64_t off = 0;
+    while (off < rows) {
+      const std::int64_t count = std::min<std::int64_t>(
+          static_cast<std::int64_t>(rng.uniform_index(5)), rows - off);
+      spans.push_back({off, count});
+      off += count + 1 + static_cast<std::int64_t>(rng.uniform_index(3));
+    }
+    if (spans.empty()) spans.push_back({0, 0});
+
+    const Tensor packed = moe::gather_spans(buf, spans);
+    ASSERT_EQ(packed.dim(0), moe::span_rows(spans));
+    std::int64_t prow = 0;
+    for (const moe::RowSpan& s : spans) {
+      for (std::int64_t r = 0; r < s.count; ++r, ++prow) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ASSERT_EQ(packed.at(prow, c), buf.at(s.offset + r, c))
+              << "iter " << iter << " span row " << r;
+        }
+      }
+    }
+
+    Tensor src(Shape{moe::span_rows(spans), cols});
+    init_normal(src, rng);
+    Tensor out(Shape{rows, cols});
+    out.fill(-7.0f);
+    moe::scatter_spans(src, out, spans);
+    prow = 0;
+    std::vector<bool> covered(static_cast<std::size_t>(rows), false);
+    for (const moe::RowSpan& s : spans) {
+      for (std::int64_t r = 0; r < s.count; ++r, ++prow) {
+        covered[static_cast<std::size_t>(s.offset + r)] = true;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ASSERT_EQ(out.at(s.offset + r, c), src.at(prow, c));
+        }
+      }
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      if (covered[static_cast<std::size_t>(r)]) continue;
+      // Rows outside every span stay untouched.
+      for (std::int64_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(out.at(r, c), -7.0f);
+      }
+    }
+  }
+
+  // Overlapping destination spans would race under the parallel fan-out;
+  // scatter rejects them loudly (gather tolerates overlapping reads).
+  Tensor buf(Shape{8, 4});
+  Tensor src(Shape{8, 4});
+  const moe::RowSpanList overlapping = {{0, 4}, {2, 4}};
+  EXPECT_THROW(moe::scatter_spans(src, buf, overlapping), CheckError);
+  EXPECT_NO_THROW(moe::gather_spans(buf, overlapping));
+  // Zero-count spans move nothing: legal at any offset, even inside
+  // another span's range.
+  const moe::RowSpanList with_empty = {{0, 4}, {2, 0}, {4, 4}};
+  EXPECT_NO_THROW(moe::scatter_spans(src, buf, with_empty));
+}
 
 TEST(SimdEquivalenceFuzz, SoftmaxMatchesScalarReference) {
   Rng rng(777);

@@ -8,6 +8,7 @@
 #include "comm/all_to_all.h"
 #include "comm/collectives.h"
 #include "comm/p2p.h"
+#include "common/units.h"
 #include "mem/buffer_pool.h"
 #include "mem/device_allocator.h"
 #include "mem/host_staging.h"
@@ -148,6 +149,98 @@ TEST(CommAllToAll, SegmentsMoveBytesExactly) {
                   0.0f);
   EXPECT_FLOAT_EQ(max_abs_diff(dst0.slice_rows(2, 4), src1.slice_rows(0, 2)),
                   0.0f);
+}
+
+TEST(CommAllToAll, MaxBytesSentExcludesSelfSegments) {
+  Tensor src(Shape{8, 4}), dst(Shape{8, 4});
+  std::vector<comm::RowSegment> segs;
+  // Local copies (src_device == dst_device) are free regardless of size.
+  segs.push_back({0, &src, 0, 0, &dst, 0, 8});
+  EXPECT_EQ(comm::max_bytes_sent(segs), 0u);
+  // Remote rows count against the sender; busiest sender wins.
+  segs.push_back({0, &src, 0, 1, &dst, 0, 2});  // dev 0 sends 2*4*4 = 32 B
+  segs.push_back({1, &src, 0, 2, &dst, 0, 3});  // dev 1 sends 3*4*4 = 48 B
+  segs.push_back({1, &src, 3, 0, &dst, 3, 2});  // dev 1 total 80 B
+  EXPECT_EQ(comm::max_bytes_sent(segs), 5u * 4 * 4);
+  EXPECT_EQ(comm::max_bytes_sent({}), 0u);
+}
+
+TEST(CommAllToAll, DurationDegenerateGroupPaysOnlyLaunchLatency) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 2);
+  comm::ProcessGroup solo(cluster, {0});
+  const double launch =
+      cluster.cost_model().config().comm_launch_latency;
+  // A one-rank "exchange" moves nothing over links, whatever the payload.
+  EXPECT_DOUBLE_EQ(comm::alltoall_duration(solo, 0), launch);
+  EXPECT_DOUBLE_EQ(comm::alltoall_duration(solo, 64 * MiB), launch);
+}
+
+TEST(CommAllToAll, DurationCompensatesPayloadFactor) {
+  // alltoall_seconds models a symmetric exchange of bytes_per_device and
+  // applies a (P-1)/P on-wire factor; alltoall_duration takes the payload
+  // the busiest rank actually sends (self share already excluded) and
+  // must invert that factor — the modelled time is launch + payload/bw,
+  // independent of the group size used to get there.
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  const double launch =
+      cluster.cost_model().config().comm_launch_latency;
+  for (int p = 2; p <= 4; ++p) {
+    std::vector<int> devices;
+    for (int d = 0; d < p; ++d) devices.push_back(d);
+    comm::ProcessGroup group(cluster, devices);
+    const double bw = cluster.topology().alltoall_bandwidth(devices);
+    const std::uint64_t payload = 6 * MiB;  // divisible by 2 and 3
+    const double expected = launch + static_cast<double>(payload) / bw;
+    EXPECT_NEAR(comm::alltoall_duration(group, payload), expected,
+                expected * 1e-9)
+        << "group size " << p;
+  }
+}
+
+TEST(CommAllToAll, TimedOpCarriesModeledDuration) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+  sim::OpGraph g;
+  const int id = comm::alltoall_timed(g, world, 3 * MiB, "a2a", {});
+  EXPECT_DOUBLE_EQ(g.op(id).base_seconds,
+                   comm::alltoall_duration(world, 3 * MiB));
+  EXPECT_GT(g.op(id).base_seconds,
+            cluster.cost_model().config().comm_launch_latency);
+}
+
+TEST(CommAllToAll, CalibratedCurveDeratesSmallExchanges) {
+  // With a measured bandwidth curve installed, an exchange far below the
+  // sweep's saturation point pays proportionally more per byte than one at
+  // the top — the analytic model charges both the full link rate.
+  sim::CommBandwidthCurve curve;
+  curve.bytes = {4 * KiB, 1 * MiB, 64 * MiB};
+  curve.seconds = {10e-6, 60e-6, 3000e-6};  // 0.4 -> 17 -> 22 GB/s
+  sim::ClusterConfig config;
+  config.topology.num_devices = 4;
+  config.topology.devices_per_node = 4;
+  config.cost.comm_curve = curve;
+  sim::Cluster cluster(config);
+  comm::ProcessGroup world = comm::ProcessGroup::world(cluster);
+
+  sim::ClusterConfig analytic_config = config;
+  analytic_config.cost.comm_curve = {};
+  sim::Cluster analytic(analytic_config);
+  comm::ProcessGroup analytic_world = comm::ProcessGroup::world(analytic);
+
+  const double launch = config.cost.comm_launch_latency;
+  const double small = comm::alltoall_duration(world, 8 * KiB) - launch;
+  const double big = comm::alltoall_duration(world, 32 * MiB) - launch;
+  const double small_analytic =
+      comm::alltoall_duration(analytic_world, 8 * KiB) - launch;
+  const double big_analytic =
+      comm::alltoall_duration(analytic_world, 32 * MiB) - launch;
+  // Analytic: seconds scale exactly with bytes. Calibrated: the small
+  // exchange runs at a fraction of the big one's effective bandwidth.
+  EXPECT_NEAR(big_analytic / small_analytic, 4096.0, 1.0);
+  EXPECT_LT(big / small, 2048.0);
+  // At the curve's best-rate knot the calibrated model converges to the
+  // analytic one (efficiency 1 by construction).
+  EXPECT_GT(big / big_analytic, 0.99);
 }
 
 TEST(CommAllReduce, SumsAcrossRanks) {

@@ -9,9 +9,11 @@
 #include <cmath>
 #include <set>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "runtime/adam.h"
+#include "tensor/random_init.h"
 #include "runtime/model_zoo.h"
 #include "runtime/trainer.h"
 #include "runtime/workload.h"
@@ -49,6 +51,46 @@ TEST(Adam, ValidatesBindings) {
   Tensor g(Shape{3});
   EXPECT_THROW(runtime::Adam({&w}, {&g}), CheckError);
   EXPECT_THROW(runtime::Adam({&w}, {}), CheckError);
+}
+
+TEST(Adam, VectorizedStepMatchesFp64Reference) {
+  // The 8-lane step must stay numerically equivalent to the scalar Adam
+  // recurrence on ragged sizes straddling the lane width (1, 7, 8, 9, ...)
+  // — including the sizes whose tails exercise the scalar remainder loop.
+  Rng rng(21);
+  for (std::int64_t n : {std::int64_t{1}, std::int64_t{7}, std::int64_t{8},
+                         std::int64_t{9}, std::int64_t{63}, std::int64_t{64},
+                         std::int64_t{1000}, std::int64_t{8195}}) {
+    Tensor w(Shape{n}), g(Shape{n});
+    init_normal(w, rng);
+    init_normal(g, rng);
+    std::vector<double> p(static_cast<std::size_t>(n));
+    for (std::int64_t k = 0; k < n; ++k) {
+      p[static_cast<std::size_t>(k)] = w.at(k);
+    }
+    runtime::AdamOptions opt;
+    opt.lr = 1e-2f;
+    opt.weight_decay = 0.05f;
+    runtime::Adam adam({&w}, {&g}, opt);
+    std::vector<double> m(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> v(static_cast<std::size_t>(n), 0.0);
+    for (int step = 1; step <= 3; ++step) {
+      adam.step();
+      const double bc1 = 1.0 - std::pow(static_cast<double>(opt.beta1), step);
+      const double bc2 = 1.0 - std::pow(static_cast<double>(opt.beta2), step);
+      for (std::int64_t k = 0; k < n; ++k) {
+        const std::size_t i = static_cast<std::size_t>(k);
+        const double grad = static_cast<double>(g.at(k)) +
+                            static_cast<double>(opt.weight_decay) * p[i];
+        m[i] = opt.beta1 * m[i] + (1.0 - opt.beta1) * grad;
+        v[i] = opt.beta2 * v[i] + (1.0 - opt.beta2) * grad * grad;
+        p[i] -= opt.lr * (m[i] / bc1) /
+                (std::sqrt(v[i] / bc2) + static_cast<double>(opt.eps));
+        EXPECT_NEAR(w.at(k), p[i], 5e-4)
+            << "n=" << n << " step=" << step << " k=" << k;
+      }
+    }
+  }
 }
 
 struct TrainCase {
@@ -97,9 +139,42 @@ INSTANTIATE_TEST_SUITE_P(
                                : std::string("raw"));
     });
 
+TEST(TrainingDeterminism, AdamStepBitwiseAcrossThreadCounts) {
+  // The vectorized Adam step fans out over the shared pool, but the
+  // update is elementwise with lane paths pinned to absolute positions —
+  // so the resulting parameters must be bit-identical for any pool size,
+  // including sizes whose chunk layouts differ (1 vs 4 vs 8 workers over
+  // a tensor big enough for >12 chunks at the 8192 grain).
+  auto run_params = [](std::size_t threads) {
+    ThreadPool::reset_shared(threads);
+    Rng rng(55);
+    const std::int64_t n = 100003;  // ragged: exercises the scalar tail
+    Tensor w(Shape{n}), g(Shape{n});
+    init_normal(w, rng);
+    init_normal(g, rng);
+    runtime::AdamOptions opt;
+    opt.weight_decay = 0.01f;
+    runtime::Adam adam({&w}, {&g}, opt);
+    for (int i = 0; i < 3; ++i) adam.step();
+    return std::vector<float>(w.data(), w.data() + n);
+  };
+  const auto p1 = run_params(1);
+  const auto p4 = run_params(4);
+  const auto p8 = run_params(8);
+  ThreadPool::reset_shared(0);  // restore the machine-sized pool
+  ASSERT_EQ(p1.size(), p4.size());
+  ASSERT_EQ(p1.size(), p8.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    // Bitwise, not approximate: EXPECT_EQ on floats.
+    ASSERT_EQ(p1[i], p4[i]) << "element " << i;
+    ASSERT_EQ(p1[i], p8[i]) << "element " << i;
+  }
+}
+
 TEST(TrainingDeterminism, BitwiseIdenticalLossesAcrossThreadCounts) {
   // The GEMM tile grid, the bias-grad epilogue's column-range ownership,
-  // and the row-parallel softmax/layer-norm kernels are all designed so
+  // the row-parallel softmax/layer-norm kernels, the span gather/scatter
+  // fan-out, and the vectorized Adam step are all designed so
   // results never depend on how chunks land on workers. Lock that in:
   // identical seeds must give bit-identical losses under 1, 4 and 8 pool
   // threads. Sizes are chosen so the FFN GEMMs span multiple tiles and
