@@ -46,7 +46,8 @@ if [[ "${CHECK}" == "0" ]]; then
   run_suite bench_micro_gemm "${OUT_DIR}"
   run_suite bench_micro_alltoall "${OUT_DIR}"
   run_suite bench_micro_datamove "${OUT_DIR}"
-  echo "Wrote ${OUT_DIR}/BENCH_{gemm,alltoall,datamove}.json"
+  run_suite bench_micro_step "${OUT_DIR}"
+  echo "Wrote ${OUT_DIR}/BENCH_{gemm,alltoall,datamove,step}.json"
   exit 0
 fi
 
@@ -56,7 +57,8 @@ if ! command -v python3 >/dev/null 2>&1; then
   echo "skip: python3 not available for the regression diff" >&2
   exit 77
 fi
-for f in BENCH_gemm.json BENCH_alltoall.json BENCH_datamove.json; do
+for f in BENCH_gemm.json BENCH_alltoall.json BENCH_datamove.json \
+         BENCH_step.json; do
   if [[ ! -f "${OUT_DIR}/${f}" ]]; then
     echo "skip: no committed baseline ${OUT_DIR}/${f}" >&2
     exit 77
@@ -76,8 +78,10 @@ check_once() {
     --benchmark_min_time=0.3 --benchmark_repetitions=2
   run_suite bench_micro_datamove "${SCRATCH}" \
     --benchmark_min_time=0.3 --benchmark_repetitions=2
+  run_suite bench_micro_step "${SCRATCH}" \
+    --benchmark_min_time=0.3 --benchmark_repetitions=2
   local status=0
-  for kind in gemm alltoall datamove; do
+  for kind in gemm alltoall datamove step; do
     python3 "${SCRIPT_DIR}/check_bench_regression.py" \
       --baseline "${OUT_DIR}/BENCH_${kind}.json" \
       --candidate "${SCRATCH}/BENCH_${kind}.json" \

@@ -30,6 +30,12 @@ std::string tag(const char* name, int j) {
   return std::string(name) + std::to_string(j);
 }
 
+// Hazard declarations for the parallel executor (sim/graph_executor.h):
+// every functional op states the byte ranges it touches. The P2P
+// gather/scatter ops self-annotate from their segment tables in comm/p2p;
+// the expert parameter/gradient declarations are the shared helpers in
+// core/restore.h.
+
 }  // namespace
 
 FasterMoELayer::FasterMoELayer(sim::Cluster& cluster,
@@ -277,10 +283,25 @@ sim::OpGraph FasterMoELayer::build_forward(MoeStepContext& ctx,
         }
       };
     }
-    c_ops[static_cast<std::size_t>(j)] =
+    const int id =
         g.add(tag("C", j), OpCategory::kGemm, StreamKind::kCompute, {j},
               cost.gemm_seconds(flops, er) / cs, std::move(deps),
               std::move(fn), cost.gemm_efficiency(er));
+    if (ctx.functional()) {
+      const std::int64_t recv =
+          part.recv_rows[static_cast<std::size_t>(j)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(
+          sim::access_rows(core::tdi_buffer(ctx, j, 0), 0, recv));
+      op.writes.push_back(
+          sim::access_rows(core::tm_buffer(ctx, j, 0), 0, recv));
+      op.writes.push_back(
+          sim::access_rows(core::tdo_buffer(ctx, j, 0), 0, recv));
+      core::declare_expert_param_reads(
+          op, experts_[static_cast<std::size_t>(j)], /*ffn1=*/true,
+          /*ffn2=*/true);
+    }
+    c_ops[static_cast<std::size_t>(j)] = id;
   };
 
   auto emit_scatter = [&](int j) {
@@ -332,9 +353,20 @@ sim::OpGraph FasterMoELayer::build_forward(MoeStepContext& ctx,
         scale_rows_(st.out, gate_copy);
       };
     }
-    g.add(tag("scale", d), OpCategory::kElementwise, StreamKind::kCompute,
-          {d}, cost.config().compute_launch_latency,
-          arrivals[static_cast<std::size_t>(d)], std::move(fn));
+    const int id =
+        g.add(tag("scale", d), OpCategory::kElementwise,
+              StreamKind::kCompute, {d},
+              cost.config().compute_launch_latency,
+              arrivals[static_cast<std::size_t>(d)], std::move(fn));
+    if (ctx.functional()) {
+      auto& st = ctx.dev[static_cast<std::size_t>(d)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(sim::access_floats(
+          st.gating.gate.data(), 0,
+          static_cast<std::int64_t>(st.gating.gate.size())));
+      op.reads.push_back(sim::access_whole(st.out));
+      op.writes.push_back(sim::access_whole(st.out));
+    }
   }
   return g;
 }
@@ -378,10 +410,26 @@ sim::OpGraph FasterMoELayer::build_backward(
         }
       };
     }
-    bs[static_cast<std::size_t>(d)] =
+    const int id =
         g.add(tag("bscale", d), OpCategory::kElementwise,
               StreamKind::kCompute, {d},
               cost.config().compute_launch_latency, {}, std::move(fn));
+    if (ctx.functional()) {
+      auto& st = ctx.dev[static_cast<std::size_t>(d)];
+      const auto& routing = part.src[static_cast<std::size_t>(d)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(sim::access_whole(st.dy));
+      op.reads.push_back(sim::access_whole(st.out));
+      op.reads.push_back(sim::access_floats(
+          st.gating.gate.data(), 0,
+          static_cast<std::int64_t>(st.gating.gate.size())));
+      op.writes.push_back(sim::access_floats(
+          st.dgate.data(), 0, static_cast<std::int64_t>(st.dgate.size())));
+      op.writes.push_back(sim::access_rows(
+          core::d_ys_buffer(ctx, d, 0), 0,
+          static_cast<std::int64_t>(routing.order.size())));
+    }
+    bs[static_cast<std::size_t>(d)] = id;
   }
 
   std::vector<std::vector<comm::RowSegment>> gather_by_dst(
@@ -456,11 +504,29 @@ sim::OpGraph FasterMoELayer::build_backward(
         }
       };
     }
-    c_ops[static_cast<std::size_t>(j)] =
+    const int id =
         g.add(tag("Cb", j), OpCategory::kGemm, StreamKind::kCompute, {j},
               cost.gemm_seconds(4 * gemm_flops(rows, H, M), er) / cs,
               gather_ops[static_cast<std::size_t>(j)], std::move(fn),
               cost.gemm_efficiency(er));
+    if (ctx.functional()) {
+      const std::int64_t recv =
+          part.recv_rows[static_cast<std::size_t>(j)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(
+          sim::access_rows(core::d_tdo_buffer(ctx, j, 0), 0, recv));
+      op.reads.push_back(
+          sim::access_rows(core::tdi_buffer(ctx, j, 0), 0, recv));
+      op.reads.push_back(
+          sim::access_rows(core::tm_buffer(ctx, j, 0), 0, recv));
+      op.writes.push_back(
+          sim::access_rows(core::d_tdi_buffer(ctx, j, 0), 0, recv));
+      auto& experts = experts_[static_cast<std::size_t>(j)];
+      core::declare_expert_param_reads(op, experts, /*ffn1=*/true,
+                                       /*ffn2=*/true);
+      core::declare_expert_grad_accum(op, experts);
+    }
+    c_ops[static_cast<std::size_t>(j)] = id;
   }
 
   // Scatter input gradients home as each destination's backward finishes.
@@ -522,13 +588,28 @@ sim::OpGraph FasterMoELayer::build_backward(
         add_(st.dx, dxg);
       };
     }
-    gb[static_cast<std::size_t>(d)] =
+    const int id =
         g.add(tag("Gb", d), OpCategory::kGemm, StreamKind::kCompute, {d},
               cost.gemm_seconds(2 * gemm_flops(B, E, M),
                                 std::max<std::int64_t>(B, 1)) /
                   cs,
               std::move(deps), std::move(fn),
               cost.gemm_efficiency(std::max<std::int64_t>(B, 1)));
+    if (ctx.functional()) {
+      auto& st = ctx.dev[static_cast<std::size_t>(d)];
+      auto& gate = gates_[static_cast<std::size_t>(d)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(sim::access_whole(st.x));
+      op.reads.push_back(sim::access_whole(st.gating.probs));
+      op.reads.push_back(sim::access_whole(gate.weight()));
+      op.reads.push_back(sim::access_floats(
+          st.dgate.data(), 0, static_cast<std::int64_t>(st.dgate.size())));
+      op.reads.push_back(sim::access_whole(st.dx));
+      op.writes.push_back(sim::access_whole(st.dx));
+      op.reads.push_back(sim::access_whole(gate.weight_grad()));
+      op.writes.push_back(sim::access_whole(gate.weight_grad()));
+    }
+    gb[static_cast<std::size_t>(d)] = id;
   }
   const std::uint64_t gate_bytes =
       static_cast<std::uint64_t>(M) * E * sizeof(float);
@@ -577,7 +658,9 @@ std::vector<Tensor> FasterMoELayer::forward(
   sim::OpGraph graph = build_forward(*ctx_, no_shadow);
   report_ = core::StepReport{};
   report_.n_partitions = num_devices();
-  report_.forward_timing = cluster_->run(graph);
+  report_.forward_timing = cluster_->run(
+      graph, options_.parallel_execution ? sim::ExecutionPolicy::kParallel
+                                         : sim::ExecutionPolicy::kSerial);
   report_.forward_seconds = report_.forward_timing.makespan;
 
   std::vector<Tensor> outputs;
@@ -597,7 +680,9 @@ std::vector<Tensor> FasterMoELayer::backward(
   setup_backward_buffers(*ctx_);
   ShadowingDecision no_shadow;
   sim::OpGraph graph = build_backward(*ctx_, no_shadow);
-  report_.backward_timing = cluster_->run(graph);
+  report_.backward_timing = cluster_->run(
+      graph, options_.parallel_execution ? sim::ExecutionPolicy::kParallel
+                                         : sim::ExecutionPolicy::kSerial);
   report_.backward_seconds = report_.backward_timing.makespan;
   report_.mean_gpu_utilization = core::combined_utilization(
       report_.forward_timing, report_.backward_timing);

@@ -33,6 +33,9 @@ struct FasterMoEOptions {
   /// Shadowing applies to timing-mode steps; functional steps validate the
   /// P2P pipeline numerics without it.
   ShadowingConfig shadowing{};
+  /// Run functional steps on the concurrent graph executor (see
+  /// core::MoELayerOptions::parallel_execution).
+  bool parallel_execution = false;
   core::ExecutionMode mode = core::ExecutionMode::kFull;
   std::uint64_t seed = 42;
 };

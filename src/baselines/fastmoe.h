@@ -21,6 +21,9 @@ struct FastMoEOptions {
   /// FastMoE's AllToAll is grouped per-pair send/recv, not a fused
   /// collective — it reaches only the P2P share of the fabric.
   double comm_scale = 0.45;
+  /// Run functional steps on the concurrent graph executor (see
+  /// core::MoELayerOptions::parallel_execution).
+  bool parallel_execution = false;
   core::ExecutionMode mode = core::ExecutionMode::kFull;
   std::uint64_t seed = 42;
 };

@@ -54,14 +54,32 @@ double alltoall_duration(const ProcessGroup& group,
                                                        group.devices());
 }
 
+void declare_segment_accesses(sim::Op& op,
+                              const std::vector<RowSegment>& segments) {
+  for (const RowSegment& seg : segments) {
+    if (seg.rows == 0) continue;
+    MPIPE_EXPECTS(seg.src != nullptr && seg.dst != nullptr,
+                  "segment with null tensor");
+    op.reads.push_back(sim::access_rows(*seg.src, seg.src_row, seg.rows));
+    op.writes.push_back(sim::access_rows(*seg.dst, seg.dst_row, seg.rows));
+  }
+}
+
 int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
              std::vector<RowSegment> segments, std::string label,
              std::vector<int> deps) {
   const double seconds = alltoall_duration(group, max_bytes_sent(segments));
   auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
-  return graph.add(std::move(label), sim::OpCategory::kAllToAll,
-                   sim::StreamKind::kComm, group.devices(), seconds,
-                   std::move(deps), [moved] { apply_segments(*moved); });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kAllToAll;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = group.devices();
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [moved] { apply_segments(*moved); };
+  declare_segment_accesses(op, *moved);
+  return graph.add(std::move(op));
 }
 
 int alltoall_timed(sim::OpGraph& graph, const ProcessGroup& group,

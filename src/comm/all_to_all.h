@@ -30,6 +30,13 @@ struct RowSegment {
 /// Executes all segments functionally and copies them byte-exactly.
 void apply_segments(const std::vector<RowSegment>& segments);
 
+/// Appends the hazard declarations a segment table implies to `op`: each
+/// segment reads its source rows and writes its destination rows. Zero-row
+/// segments are skipped. Used by every segment-driven comm op so the
+/// declarations can never drift from what apply_segments actually copies.
+void declare_segment_accesses(sim::Op& op,
+                              const std::vector<RowSegment>& segments);
+
 /// Bytes the busiest participant sends (drives the collective's duration).
 /// Self-device segments are local copies and count as free.
 std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments);

@@ -25,21 +25,31 @@ int allreduce_sum(sim::OpGraph& graph, const ProcessGroup& group,
                                                            group.devices())
           : 0.0;
   auto tensors = std::make_shared<std::vector<Tensor*>>(std::move(per_rank));
-  return graph.add(
-      std::move(label), sim::OpCategory::kAllReduce, sim::StreamKind::kComm,
-      group.devices(), seconds, std::move(deps), [tensors] {
-        Tensor& acc = *(*tensors)[0];
-        const std::int64_t n = acc.numel();
-        float* pacc = acc.data();
-        for (std::size_t r = 1; r < tensors->size(); ++r) {
-          const float* p = (*tensors)[r]->data();
-          for (std::int64_t i = 0; i < n; ++i) pacc[i] += p[i];
-        }
-        for (std::size_t r = 1; r < tensors->size(); ++r) {
-          std::memcpy((*tensors)[r]->data(), pacc,
-                      static_cast<std::size_t>(n) * sizeof(float));
-        }
-      });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kAllReduce;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = group.devices();
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [tensors] {
+    Tensor& acc = *(*tensors)[0];
+    const std::int64_t n = acc.numel();
+    float* pacc = acc.data();
+    for (std::size_t r = 1; r < tensors->size(); ++r) {
+      const float* p = (*tensors)[r]->data();
+      for (std::int64_t i = 0; i < n; ++i) pacc[i] += p[i];
+    }
+    for (std::size_t r = 1; r < tensors->size(); ++r) {
+      std::memcpy((*tensors)[r]->data(), pacc,
+                  static_cast<std::size_t>(n) * sizeof(float));
+    }
+  };
+  for (const Tensor* t : *tensors) {
+    op.reads.push_back(sim::access_whole(*t));
+    op.writes.push_back(sim::access_whole(*t));
+  }
+  return graph.add(std::move(op));
 }
 
 int broadcast(sim::OpGraph& graph, const ProcessGroup& group, int root_rank,
@@ -62,16 +72,29 @@ int broadcast(sim::OpGraph& graph, const ProcessGroup& group, int root_rank,
           : 0.0;
   auto tensors = std::make_shared<std::vector<Tensor*>>(std::move(per_rank));
   const std::size_t root = static_cast<std::size_t>(root_rank);
-  return graph.add(std::move(label), sim::OpCategory::kBroadcast,
-                   sim::StreamKind::kComm, group.devices(), seconds,
-                   std::move(deps), [tensors, root] {
-                     const Tensor& src = *(*tensors)[root];
-                     for (std::size_t r = 0; r < tensors->size(); ++r) {
-                       if (r == root) continue;
-                       std::memcpy((*tensors)[r]->data(), src.data(),
-                                   static_cast<std::size_t>(src.nbytes()));
-                     }
-                   });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kBroadcast;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = group.devices();
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [tensors, root] {
+    const Tensor& src = *(*tensors)[root];
+    for (std::size_t r = 0; r < tensors->size(); ++r) {
+      if (r == root) continue;
+      std::memcpy((*tensors)[r]->data(), src.data(),
+                  static_cast<std::size_t>(src.nbytes()));
+    }
+  };
+  for (std::size_t r = 0; r < tensors->size(); ++r) {
+    if (r == root) {
+      op.reads.push_back(sim::access_whole(*(*tensors)[r]));
+    } else {
+      op.writes.push_back(sim::access_whole(*(*tensors)[r]));
+    }
+  }
+  return graph.add(std::move(op));
 }
 
 int allgather_rows(sim::OpGraph& graph, const ProcessGroup& group,
@@ -101,17 +124,25 @@ int allgather_rows(sim::OpGraph& graph, const ProcessGroup& group,
                        : 0.0;
   auto in = std::make_shared<std::vector<const Tensor*>>(std::move(inputs));
   auto out = std::make_shared<std::vector<Tensor*>>(std::move(outputs));
-  return graph.add(std::move(label), sim::OpCategory::kAllToAll,
-                   sim::StreamKind::kComm, group.devices(), seconds,
-                   std::move(deps), [in, out] {
-                     for (Tensor* dst : *out) {
-                       std::int64_t row = 0;
-                       for (const Tensor* src : *in) {
-                         dst->copy_into_rows(row, *src);
-                         row += src->dim(0);
-                       }
-                     }
-                   });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kAllToAll;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = group.devices();
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [in, out] {
+    for (Tensor* dst : *out) {
+      std::int64_t row = 0;
+      for (const Tensor* src : *in) {
+        dst->copy_into_rows(row, *src);
+        row += src->dim(0);
+      }
+    }
+  };
+  for (const Tensor* t : *in) op.reads.push_back(sim::access_whole(*t));
+  for (const Tensor* t : *out) op.writes.push_back(sim::access_whole(*t));
+  return graph.add(std::move(op));
 }
 
 std::vector<int> hierarchical_alltoall_timed(sim::OpGraph& graph,

@@ -27,9 +27,16 @@ int send_recv(sim::OpGraph& graph, const ProcessGroup& group,
     devices = {segment.dst_device};
   }
   auto moved = std::make_shared<RowSegment>(segment);
-  return graph.add(std::move(label), sim::OpCategory::kP2P,
-                   sim::StreamKind::kComm, std::move(devices), seconds,
-                   std::move(deps), [moved] { apply_segments({*moved}); });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kP2P;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = std::move(devices);
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [moved] { apply_segments({*moved}); };
+  declare_segment_accesses(op, {*moved});
+  return graph.add(std::move(op));
 }
 
 int send_recv_multi(sim::OpGraph& graph, const ProcessGroup& group,
@@ -56,9 +63,16 @@ int send_recv_multi(sim::OpGraph& graph, const ProcessGroup& group,
     devices = {dst};
   }
   auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
-  return graph.add(std::move(label), sim::OpCategory::kP2P,
-                   sim::StreamKind::kComm, std::move(devices), seconds,
-                   std::move(deps), [moved] { apply_segments(*moved); });
+  sim::Op op;
+  op.label = std::move(label);
+  op.category = sim::OpCategory::kP2P;
+  op.stream = sim::StreamKind::kComm;
+  op.devices = std::move(devices);
+  op.base_seconds = seconds;
+  op.deps = std::move(deps);
+  op.fn = [moved] { apply_segments(*moved); };
+  declare_segment_accesses(op, *moved);
+  return graph.add(std::move(op));
 }
 
 int send_recv_timed(sim::OpGraph& graph, const ProcessGroup& group,

@@ -86,8 +86,19 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     MPIPE_CHECK(!stopping_, "submit on stopped pool");
     tasks_.emplace([packaged] { (*packaged)(); });
   }
+  tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return result;
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MPIPE_CHECK(!stopping_, "post on stopped pool");
+    tasks_.emplace(std::move(task));
+  }
+  tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(
@@ -125,6 +136,7 @@ void ThreadPool::parallel_for(
       tasks_.emplace([state] { state->drain(); });
     }
   }
+  tasks_enqueued_.fetch_add(helpers, std::memory_order_relaxed);
   cv_.notify_all();
 
   state->drain();

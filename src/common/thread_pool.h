@@ -10,8 +10,10 @@
 /// inline, so nested parallelism (pipeline executor -> GEMM) cannot
 /// deadlock the pool.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -34,6 +36,18 @@ class ThreadPool {
 
   /// Submits a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
+
+  /// Fire-and-forget submit: no packaged_task/future overhead. The caller
+  /// owns completion tracking (the graph executor and parallel_for both
+  /// count finished work themselves).
+  void post(std::function<void()> task);
+
+  /// Number of tasks ever handed to the worker queue (submit, post and
+  /// parallel_for helper entries). Monotone; used by tests asserting a
+  /// code path stayed thread-quiet (e.g. the granularity-search probes).
+  std::uint64_t tasks_enqueued() const {
+    return tasks_enqueued_.load(std::memory_order_relaxed);
+  }
 
   /// Runs fn(begin, end) over [0, n) split into chunks across the pool,
   /// blocking until all chunks complete. Chunk boundaries are multiples of
@@ -65,6 +79,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_enqueued_{0};
 };
 
 }  // namespace mpipe

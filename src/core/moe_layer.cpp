@@ -24,6 +24,36 @@ std::uint64_t model_state_bytes(const MoELayerOptions& options,
 
 }  // namespace
 
+sim::CalibrationStatus install_calibration(sim::Cluster& cluster,
+                                           const MoELayerOptions& options,
+                                           std::int64_t min_tokens,
+                                           std::int64_t max_tokens) {
+  MPIPE_EXPECTS(min_tokens >= 1 && max_tokens >= min_tokens,
+                "bad token range");
+  std::vector<int> candidates = options.candidate_partitions;
+  if (!options.pipeline) {
+    candidates = {1};
+  } else if (options.num_partitions > 0) {
+    candidates = {options.num_partitions};
+  }
+  const int epd = options.num_experts / cluster.num_devices();
+  const auto rows = GranularitySearcher::expert_panel_range(
+      min_tokens, max_tokens, candidates, epd);
+  std::pair<std::uint64_t, std::uint64_t> payloads{0, 0};
+  if (cluster.num_devices() >= 2) {
+    payloads = GranularitySearcher::alltoall_payload_range(
+        min_tokens, max_tokens, candidates, options.d_model,
+        cluster.num_devices());
+  }
+  sim::CostModelConfig config = cluster.cost_model().config();
+  sim::CalibrationStatus status = sim::try_apply_calibration_files(
+      config, rows.first, rows.second, payloads.first, payloads.second);
+  if (status.gemm_loaded || status.comm_loaded) {
+    cluster.set_cost_config(std::move(config));
+  }
+  return status;
+}
+
 MoELayer::MoELayer(sim::Cluster& cluster, MoELayerOptions options)
     : cluster_(&cluster),
       options_(std::move(options)),
@@ -163,6 +193,11 @@ double MoELayer::probe_step_seconds(std::int64_t tokens_per_device, int n,
   // Probes need no buffer accounting — only the schedule shape matters.
   sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
   sim::OpGraph bwd = builder_.build_backward(ctx, LayerRefs{});
+  // Probes are timing-shape-only: they must never materialise tensors,
+  // carry closures, or spin up the parallel executor (time_only never
+  // invokes closures, and an all-timing graph keeps it that way).
+  MPIPE_EXPECTS(fwd.is_timing_only() && bwd.is_timing_only(),
+                "granularity probe built a functional graph");
   const double t_fwd = cluster_->time_only(fwd).makespan;
   const double t_bwd = cluster_->time_only(bwd).makespan;
   return t_fwd + t_bwd;
@@ -354,7 +389,7 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
   report_ = StepReport{};
   report_.n_partitions = n;
   report_.strategy = strategy;
-  report_.forward_timing = cluster_->run(graph);
+  report_.forward_timing = cluster_->run(graph, exec_policy());
   report_.forward_seconds = report_.forward_timing.makespan;
 
   std::vector<Tensor> outputs;
@@ -380,7 +415,7 @@ std::vector<Tensor> MoELayer::backward(
   setup_backward_buffers(*ctx_);
 
   sim::OpGraph graph = builder_.build_backward(*ctx_, refs());
-  report_.backward_timing = cluster_->run(graph);
+  report_.backward_timing = cluster_->run(graph, exec_policy());
   report_.backward_seconds = report_.backward_timing.makespan;
   report_.mean_gpu_utilization =
       combined_utilization(report_.forward_timing, report_.backward_timing);
@@ -427,11 +462,15 @@ StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
   report.n_partitions = n;
   report.strategy = strategy;
   sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
+  MPIPE_EXPECTS(fwd.is_timing_only(),
+                "timing-only step built a functional graph");
   report.forward_timing = cluster_->time_only(fwd);
   report.forward_seconds = report.forward_timing.makespan;
 
   setup_backward_buffers(ctx);
   sim::OpGraph bwd = builder_.build_backward(ctx, LayerRefs{});
+  MPIPE_EXPECTS(bwd.is_timing_only(),
+                "timing-only step built a functional graph");
   report.backward_timing = cluster_->time_only(bwd);
   report.backward_seconds = report.backward_timing.makespan;
   report.mean_gpu_utilization =

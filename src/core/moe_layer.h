@@ -18,6 +18,7 @@
 #include "core/pipeline_schedule.h"
 #include "core/strategy_selector.h"
 #include "mem/host_staging.h"
+#include "sim/calibration.h"
 #include "sim/cluster.h"
 
 namespace mpipe::core {
@@ -58,9 +59,31 @@ struct MoELayerOptions {
   /// Used by the FastMoE baseline.
   bool sequential_temp_accounting = false;
 
+  /// Run the functional op graphs concurrently on the shared ThreadPool
+  /// (sim::ExecutionPolicy::kParallel): independent partitions'/devices'
+  /// dispatch, expert GEMMs, combine and offload ops genuinely overlap,
+  /// with the hazard validator proving every schedule race-free first.
+  /// false keeps the serial topological reference order. Both modes
+  /// produce bitwise identical results for any pool size.
+  bool parallel_execution = false;
+
   ExecutionMode mode = ExecutionMode::kFull;
   std::uint64_t seed = 42;
 };
+
+/// Installs the committed CALIBRATION_gemm.csv / CALIBRATION_alltoall.csv
+/// measured curves into `cluster` when they cover the probe ranges a layer
+/// with `options` will present for batches in [min_tokens, max_tokens]
+/// (fixed-partition layers probe only their configured n; adaptive layers
+/// any candidate). Missing files or insufficient knot coverage fall back
+/// to the analytic cost model — the returned status says which, so entry
+/// points can surface it. One shared implementation for runtime::Trainer
+/// and the examples, so the coverage ranges can never drift from the
+/// layer configuration they describe.
+sim::CalibrationStatus install_calibration(sim::Cluster& cluster,
+                                           const MoELayerOptions& options,
+                                           std::int64_t min_tokens,
+                                           std::int64_t max_tokens);
 
 class MoELayer {
  public:
@@ -103,6 +126,10 @@ class MoELayer {
   moe::ExpertFFN& expert(int device, int local_index);
 
  private:
+  sim::ExecutionPolicy exec_policy() const {
+    return options_.parallel_execution ? sim::ExecutionPolicy::kParallel
+                                       : sim::ExecutionPolicy::kSerial;
+  }
   int configure_partitions(std::int64_t tokens_per_device);
   ReuseStrategy configure_strategy(std::int64_t tokens_per_device, int n);
   /// Timing-only probe used by the granularity search trial function.

@@ -33,6 +33,14 @@ std::int64_t eff_rows(const MoeStepContext& ctx, std::int64_t rows) {
   return std::max<std::int64_t>(1, rows / ctx.plan.experts_per_device);
 }
 
+// Hazard declarations: every functional op states the byte ranges it
+// touches so the concurrent executor's validator (sim/graph_executor.h)
+// can prove unordered ops disjoint. Ring-slot buffers alias across
+// partitions by construction (same data pointer), which is exactly how
+// the validator sees the §III-D WAR hazards the schedule's explicit edges
+// must cover. The expert parameter/gradient declarations live in
+// core/restore.h (shared with the baselines).
+
 }  // namespace
 
 PipelineScheduleBuilder::PipelineScheduleBuilder(
@@ -149,10 +157,18 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
                          tdi_buffer(*c, d, p), rows);
           };
         }
-        od_tdi[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+        const int id =
             g.add(tag("Htdi", p, d), OpCategory::kMemcpyD2H,
                   StreamKind::kMem, {d}, cost.memcpy_seconds(bytes, d),
                   {s_ops[static_cast<std::size_t>(p)]}, std::move(fn));
+        if (ctx.functional()) {
+          sim::Op& op = g.op(id);
+          op.reads.push_back(
+              sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
+          op.writes.push_back(sim::access_token(
+              staging_.slot_token(d, staging_key("tdi", p))));
+        }
+        od_tdi[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
       }
     }
 
@@ -184,10 +200,19 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
           }
         };
       }
-      c1[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+      const int id =
           g.add(tag("C1_", p, d), OpCategory::kGemm, StreamKind::kCompute,
                 {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
                 std::move(fn), cost.gemm_efficiency(er));
+      if (ctx.functional()) {
+        sim::Op& op = g.op(id);
+        op.reads.push_back(sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
+        op.writes.push_back(sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+        declare_expert_param_reads(
+            op, (*refs.experts)[static_cast<std::size_t>(d)],
+            /*ffn1=*/true, /*ffn2=*/false);
+      }
+      c1[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
     }
 
     // ---- offload T_M (S1, S2) ------------------------------------------
@@ -205,12 +230,20 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
                          rows);
           };
         }
-        od_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+        const int id =
             g.add(tag("Htm", p, d), OpCategory::kMemcpyD2H, StreamKind::kMem,
                   {d}, cost.memcpy_seconds(bytes, d),
                   {c1[static_cast<std::size_t>(p)]
                      [static_cast<std::size_t>(d)]},
                   std::move(fn));
+        if (ctx.functional()) {
+          sim::Op& op = g.op(id);
+          op.reads.push_back(
+              sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+          op.writes.push_back(sim::access_token(
+              staging_.slot_token(d, staging_key("tm", p))));
+        }
+        od_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
       }
     }
 
@@ -238,10 +271,19 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
           }
         };
       }
-      c2[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+      const int id =
           g.add(tag("C2_", p, d), OpCategory::kGemm, StreamKind::kCompute,
                 {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
                 std::move(fn), cost.gemm_efficiency(er));
+      if (ctx.functional()) {
+        sim::Op& op = g.op(id);
+        op.reads.push_back(sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+        op.writes.push_back(sim::access_rows(tdo_buffer(ctx, d, p), 0, rows));
+        declare_expert_param_reads(
+            op, (*refs.experts)[static_cast<std::size_t>(d)],
+            /*ffn1=*/false, /*ffn2=*/true);
+      }
+      c2[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
     }
 
     // ---- R_{p-1}: combine, alternating with S on the comm stream -------
@@ -268,10 +310,22 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
           }
         };
       }
-      g.add(tag("scale", p, d), OpCategory::kElementwise,
-            StreamKind::kCompute, {d},
-            cost.config().compute_launch_latency,
-            {r_ops[static_cast<std::size_t>(p)]}, std::move(fn));
+      const int id = g.add(tag("scale", p, d), OpCategory::kElementwise,
+                           StreamKind::kCompute, {d},
+                           cost.config().compute_launch_latency,
+                           {r_ops[static_cast<std::size_t>(p)]},
+                           std::move(fn));
+      if (ctx.functional()) {
+        auto& st = ctx.dev[static_cast<std::size_t>(d)];
+        const auto& part = ctx.plan.part(p);
+        sim::Op& op = g.op(id);
+        op.reads.push_back(sim::access_floats(
+            st.gating.gate.data(), part.chunk_begin, part.chunk_rows));
+        op.reads.push_back(
+            sim::access_rows(st.out, part.chunk_begin, part.chunk_rows));
+        op.writes.push_back(
+            sim::access_rows(st.out, part.chunk_begin, part.chunk_rows));
+      }
     }
   }
   return g;
@@ -330,10 +384,28 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
           }
         };
       }
-      bs[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+      const int id =
           g.add(tag("bscale", p, d), OpCategory::kElementwise,
                 StreamKind::kCompute, {d},
                 cost.config().compute_launch_latency, {}, std::move(fn));
+      if (ctx.functional()) {
+        auto& st = ctx.dev[static_cast<std::size_t>(d)];
+        const auto& part = ctx.plan.part(p);
+        const auto& routing = part.src[static_cast<std::size_t>(d)];
+        sim::Op& op = g.op(id);
+        op.reads.push_back(
+            sim::access_rows(st.dy, part.chunk_begin, part.chunk_rows));
+        op.reads.push_back(
+            sim::access_rows(st.out, part.chunk_begin, part.chunk_rows));
+        op.reads.push_back(sim::access_floats(
+            st.gating.gate.data(), part.chunk_begin, part.chunk_rows));
+        op.writes.push_back(sim::access_floats(
+            st.dgate.data(), part.chunk_begin, part.chunk_rows));
+        op.writes.push_back(sim::access_rows(
+            d_ys_buffer(ctx, d, p), 0,
+            static_cast<std::int64_t>(routing.order.size())));
+      }
+      bs[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
     }
   }
 
@@ -416,10 +488,19 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
                             tdi_buffer(*c, d, p));
             };
           }
-          rs_tdi[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+          const int id =
               g.add(tag("Dtdi", p, d), OpCategory::kMemcpyH2D,
                     StreamKind::kMem, {d}, cost.memcpy_seconds(bytes, d),
                     std::move(deps), std::move(fn));
+          if (ctx.functional()) {
+            sim::Op& op = g.op(id);
+            op.reads.push_back(sim::access_token(
+                staging_.slot_token(d, staging_key("tdi", p))));
+            op.writes.push_back(
+                sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
+          }
+          rs_tdi[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+              id;
         }
       }
 
@@ -446,10 +527,22 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
               }
             };
           }
-          rs_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+          const int id =
               g.add(tag("Cr", p, d), OpCategory::kGemm, StreamKind::kCompute,
                     {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
                     std::move(fn), cost.gemm_efficiency(er));
+          if (ctx.functional()) {
+            sim::Op& op = g.op(id);
+            op.reads.push_back(
+                sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
+            op.writes.push_back(
+                sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+            declare_expert_param_reads(
+                op, (*refs.experts)[static_cast<std::size_t>(d)],
+                /*ffn1=*/true, /*ffn2=*/false);
+          }
+          rs_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+              id;
         } else {
           // Prefetch T_M from host (S1, S2).
           const std::uint64_t bytes =
@@ -463,10 +556,19 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
                             tm_buffer(*c, d, p));
             };
           }
-          rs_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+          const int id =
               g.add(tag("Dtm", p, d), OpCategory::kMemcpyH2D,
                     StreamKind::kMem, {d}, cost.memcpy_seconds(bytes, d),
                     std::move(deps), std::move(fn));
+          if (ctx.functional()) {
+            sim::Op& op = g.op(id);
+            op.reads.push_back(sim::access_token(
+                staging_.slot_token(d, staging_key("tm", p))));
+            op.writes.push_back(
+                sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+          }
+          rs_tm[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+              id;
         }
       }
     }
@@ -501,10 +603,24 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
           }
         };
       }
-      cb[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] =
+      const int id =
           g.add(tag("Cb", p, d), OpCategory::kGemm, StreamKind::kCompute,
                 {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
                 std::move(fn), cost.gemm_efficiency(er));
+      if (ctx.functional()) {
+        sim::Op& op = g.op(id);
+        op.reads.push_back(
+            sim::access_rows(d_tdo_buffer(ctx, d, p), 0, rows));
+        op.reads.push_back(sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
+        op.reads.push_back(sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
+        op.writes.push_back(
+            sim::access_rows(d_tdi_buffer(ctx, d, p), 0, rows));
+        auto& experts = (*refs.experts)[static_cast<std::size_t>(d)];
+        declare_expert_param_reads(op, experts, /*ffn1=*/true,
+                                   /*ffn2=*/true);
+        declare_expert_grad_accum(op, experts);
+      }
+      cb[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)] = id;
     }
 
     // ---- R'_{p-1}: gradient combine back to dX ---------------------------
@@ -549,11 +665,26 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
         add_(st.dx, dxg);
       };
     }
-    gb[static_cast<std::size_t>(d)] =
+    const int id =
         g.add(tag("Gb", 0, d), OpCategory::kGemm, StreamKind::kCompute, {d},
               cost.gemm_seconds(flops, std::max<std::int64_t>(B, 1)) / compute_scale_,
               std::move(deps), std::move(fn),
               cost.gemm_efficiency(std::max<std::int64_t>(B, 1)));
+    if (ctx.functional()) {
+      auto& st = ctx.dev[static_cast<std::size_t>(d)];
+      auto& gate = (*refs.gates)[static_cast<std::size_t>(d)];
+      sim::Op& op = g.op(id);
+      op.reads.push_back(sim::access_whole(st.x));
+      op.reads.push_back(sim::access_whole(st.gating.probs));
+      op.reads.push_back(sim::access_whole(gate.weight()));
+      op.reads.push_back(sim::access_floats(
+          st.dgate.data(), 0, static_cast<std::int64_t>(st.dgate.size())));
+      op.reads.push_back(sim::access_whole(st.dx));
+      op.writes.push_back(sim::access_whole(st.dx));
+      op.reads.push_back(sim::access_whole(gate.weight_grad()));
+      op.writes.push_back(sim::access_whole(gate.weight_grad()));
+    }
+    gb[static_cast<std::size_t>(d)] = id;
   }
 
   // Gating weights are replicated data-parallel; sync their gradients.

@@ -37,6 +37,32 @@ Tensor& pick(MoeStepContext& ctx, std::optional<mem::BufferPool>& pool,
 }
 }  // namespace
 
+void declare_expert_param_reads(sim::Op& op,
+                                std::vector<moe::ExpertFFN>& experts,
+                                bool ffn1, bool ffn2) {
+  for (auto& expert : experts) {
+    const auto params = expert.parameters();  // order: w1, b1, w2, b2
+    if (ffn1) {
+      op.reads.push_back(sim::access_whole(*params[0]));
+      op.reads.push_back(sim::access_whole(*params[1]));
+    }
+    if (ffn2) {
+      op.reads.push_back(sim::access_whole(*params[2]));
+      op.reads.push_back(sim::access_whole(*params[3]));
+    }
+  }
+}
+
+void declare_expert_grad_accum(sim::Op& op,
+                               std::vector<moe::ExpertFFN>& experts) {
+  for (auto& expert : experts) {
+    for (Tensor* g : expert.gradients()) {
+      op.reads.push_back(sim::access_whole(*g));
+      op.writes.push_back(sim::access_whole(*g));
+    }
+  }
+}
+
 Tensor& tdi_buffer(MoeStepContext& ctx, int device, int p) {
   auto& st = ctx.dev[static_cast<std::size_t>(device)];
   return pick(ctx, st.tdi, st.tdi_parts, p);

@@ -12,8 +12,27 @@
 #include "comm/all_to_all.h"
 #include "core/execution_context.h"
 #include "mem/host_staging.h"
+#include "moe/expert.h"
 
 namespace mpipe::core {
+
+// ---- hazard declarations ----------------------------------------------------
+// Shared by the pipeline schedule builder and the baselines so the
+// ExpertFFN::parameters()/gradients() ordering contract (w1, b1, w2, b2)
+// is encoded exactly once — an under-declared access set is a silent
+// data-race window the validator cannot see.
+
+/// Declares reads of the parameter tensors an expert stage consumes
+/// (w1/b1 for FFN1 and recompute, w2/b2 for FFN2, both for the fused
+/// forward and backward stages).
+void declare_expert_param_reads(sim::Op& op,
+                                std::vector<moe::ExpertFFN>& experts,
+                                bool ffn1, bool ffn2);
+
+/// Declares the gradient accumulation (read-modify-write) of a backward
+/// expert stage.
+void declare_expert_grad_accum(sim::Op& op,
+                               std::vector<moe::ExpertFFN>& experts);
 
 // ---- buffer accessors (full mode only) -------------------------------------
 

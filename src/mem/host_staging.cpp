@@ -6,31 +6,40 @@ namespace mpipe::mem {
 
 void HostStaging::store(int device, const std::string& key, const Tensor& t) {
   MPIPE_EXPECTS(t.defined(), "staging a null tensor");
+  Tensor copy = t.clone();  // deep copy outside the lock
   const auto k = std::make_pair(device, key);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(k);
   if (it != store_.end()) {
     bytes_ -= it->second.nbytes();
-    it->second = t.clone();
+    it->second = std::move(copy);
     bytes_ += it->second.nbytes();
     return;
   }
-  auto [pos, inserted] = store_.emplace(k, t.clone());
+  auto [pos, inserted] = store_.emplace(k, std::move(copy));
   bytes_ += pos->second.nbytes();
 }
 
 Tensor HostStaging::load(int device, const std::string& key) const {
-  auto it = store_.find(std::make_pair(device, key));
-  MPIPE_EXPECTS(it != store_.end(),
-                "no staged tensor for device " + std::to_string(device) +
-                    " key '" + key + "'");
-  return it->second.clone();
+  Tensor staged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(std::make_pair(device, key));
+    MPIPE_EXPECTS(it != store_.end(),
+                  "no staged tensor for device " + std::to_string(device) +
+                      " key '" + key + "'");
+    staged = it->second;  // shallow share under the lock...
+  }
+  return staged.clone();  // ...deep copy outside it
 }
 
 bool HostStaging::contains(int device, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return store_.count(std::make_pair(device, key)) > 0;
 }
 
 void HostStaging::drop(int device, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(std::make_pair(device, key));
   if (it == store_.end()) return;
   bytes_ -= it->second.nbytes();
@@ -38,6 +47,7 @@ void HostStaging::drop(int device, const std::string& key) {
 }
 
 void HostStaging::clear_device(int device) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = store_.begin(); it != store_.end();) {
     if (it->first.first == device) {
       bytes_ -= it->second.nbytes();
@@ -49,8 +59,24 @@ void HostStaging::clear_device(int device) {
 }
 
 void HostStaging::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   store_.clear();
   bytes_ = 0;
+}
+
+std::uint64_t HostStaging::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t HostStaging::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.size();
+}
+
+const void* HostStaging::slot_token(int device, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &tokens_[std::make_pair(device, key)];
 }
 
 }  // namespace mpipe::mem

@@ -5,9 +5,16 @@
 /// pass and prefetches them back in backward. Here the "device" tensors are
 /// also host memory, so staging is a real deep copy plus byte accounting —
 /// the restore paths are still byte-exact round trips.
+///
+/// Thread safety: the store is shared by every device's mem-stream ops, and
+/// under the parallel graph executor offloads/prefetches for *different*
+/// devices run concurrently. All map mutations are mutex-guarded; the
+/// hazard validator additionally proves that no two concurrent ops touch
+/// the same logical slot (see slot_token).
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "tensor/tensor.h"
@@ -32,11 +39,20 @@ class HostStaging {
   void clear_device(int device);
   void clear();
 
-  std::uint64_t bytes_stored() const { return bytes_; }
-  std::size_t entries() const { return store_.size(); }
+  std::uint64_t bytes_stored() const;
+  std::size_t entries() const;
+
+  /// Stable identity for the logical slot (device, key), for hazard
+  /// declarations (sim::BufferAccess::id): an offload op *writes* the
+  /// token, the matching prefetch *reads* it. Created on first use at
+  /// graph-build time (single-threaded); the address stays valid for the
+  /// staging object's lifetime (map nodes do not move).
+  const void* slot_token(int device, const std::string& key);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<int, std::string>, Tensor> store_;
+  std::map<std::pair<int, std::string>, char> tokens_;
   std::uint64_t bytes_ = 0;
 };
 

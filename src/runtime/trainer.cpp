@@ -1,5 +1,8 @@
 #include "runtime/trainer.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -11,6 +14,21 @@ Trainer::Trainer(core::MoELayer& layer, TrainerOptions options)
                 "workload/device mismatch");
   MPIPE_EXPECTS(options_.workload.d_model == layer.options().d_model,
                 "workload/model dimension mismatch");
+  if (options_.load_calibration) {
+    // The workload bounds every batch size the adaptive search can see,
+    // which bounds the GEMM panels and AllToAll payloads it will probe —
+    // exactly the coverage contract the measured curves must satisfy.
+    const auto& wo = options_.workload;
+    const std::int64_t min_tokens = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(
+               static_cast<double>(wo.tokens_per_device) *
+               (1.0 - wo.batch_jitter))));
+    const std::int64_t max_tokens = static_cast<std::int64_t>(std::ceil(
+        static_cast<double>(wo.tokens_per_device) *
+        (1.0 + wo.batch_jitter)));
+    calibration_status_ = core::install_calibration(
+        layer.cluster(), layer.options(), min_tokens, max_tokens);
+  }
   optimizer_ = std::make_unique<Adam>(layer.parameters(), layer.gradients(),
                                       options_.adam);
 }

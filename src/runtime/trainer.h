@@ -10,6 +10,7 @@
 #include "runtime/adam.h"
 #include "runtime/metrics.h"
 #include "runtime/workload.h"
+#include "sim/calibration.h"
 
 namespace mpipe::runtime {
 
@@ -17,6 +18,13 @@ struct TrainerOptions {
   WorkloadOptions workload;
   AdamOptions adam;
   int steps = 10;
+  /// Install the committed CALIBRATION_gemm.csv / CALIBRATION_alltoall.csv
+  /// measured curves into the layer's cluster at construction, when the
+  /// files exist and their knots cover the row/payload ranges this
+  /// workload's granularity search will probe. Missing files or
+  /// insufficient coverage fall back to the analytic cost model (see
+  /// calibration_status()).
+  bool load_calibration = true;
 };
 
 class Trainer {
@@ -32,12 +40,19 @@ class Trainer {
 
   const TrainingMetrics& metrics() const { return metrics_; }
 
+  /// What calibration loading did at construction (empty detail when
+  /// options.load_calibration was false).
+  const sim::CalibrationStatus& calibration_status() const {
+    return calibration_status_;
+  }
+
  private:
   core::MoELayer* layer_;
   TrainerOptions options_;
   WorkloadGenerator workload_;
   std::unique_ptr<Adam> optimizer_;
   TrainingMetrics metrics_;
+  sim::CalibrationStatus calibration_status_;
 };
 
 }  // namespace mpipe::runtime

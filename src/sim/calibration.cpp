@@ -1,6 +1,7 @@
 #include "sim/calibration.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -174,6 +175,92 @@ CostModelConfig apply_comm_calibration(CostModelConfig config,
   curve.validate_covers(required_lo, required_hi);
   config.comm_curve = std::move(curve);
   return config;
+}
+
+namespace {
+
+/// First directory in `dirs` holding a readable `name`, or "" when none.
+std::string find_in_dirs(const std::vector<std::string>& dirs,
+                         const std::string& name) {
+  for (const std::string& dir : dirs) {
+    const std::string path = dir + "/" + name;
+    std::ifstream in(path);
+    if (in.good()) return path;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<std::string> default_calibration_dirs() {
+  std::vector<std::string> dirs;
+  if (const char* env = std::getenv("MPIPE_CALIBRATION_DIR")) {
+    if (*env != '\0') dirs.emplace_back(env);
+  }
+  dirs.emplace_back(".");
+  dirs.emplace_back("..");
+  dirs.emplace_back("../..");
+  return dirs;
+}
+
+CalibrationStatus try_apply_calibration_files(
+    CostModelConfig& config, std::int64_t gemm_required_lo,
+    std::int64_t gemm_required_hi, std::uint64_t comm_required_lo,
+    std::uint64_t comm_required_hi,
+    const std::vector<std::string>& search_dirs) {
+  CalibrationStatus status;
+  std::ostringstream detail;
+
+  const std::string gemm_path =
+      find_in_dirs(search_dirs, "CALIBRATION_gemm.csv");
+  if (gemm_path.empty()) {
+    detail << "gemm: CALIBRATION_gemm.csv not found, analytic curve in "
+              "effect";
+  } else {
+    GemmEfficiencyCurve curve = load_efficiency_curve(gemm_path);
+    if (curve.min_rows() <= gemm_required_lo &&
+        curve.max_rows() >= gemm_required_hi) {
+      config = apply_calibration(std::move(config), std::move(curve),
+                                 gemm_required_lo, gemm_required_hi);
+      status.gemm_loaded = true;
+      detail << "gemm: calibrated from " << gemm_path;
+    } else {
+      detail << "gemm: " << gemm_path << " knots [" << curve.min_rows()
+             << ", " << curve.max_rows()
+             << "] do not cover probed rows [" << gemm_required_lo << ", "
+             << gemm_required_hi << "], analytic curve in effect";
+    }
+  }
+
+  detail << "; ";
+  if (comm_required_hi == 0) {
+    detail << "comm: not consulted (single-device group)";
+    status.detail = detail.str();
+    return status;
+  }
+  const std::string comm_path =
+      find_in_dirs(search_dirs, "CALIBRATION_alltoall.csv");
+  if (comm_path.empty()) {
+    detail << "comm: CALIBRATION_alltoall.csv not found, analytic model in "
+              "effect";
+  } else {
+    CommBandwidthCurve curve = load_comm_curve(comm_path);
+    if (curve.min_bytes() <= comm_required_lo &&
+        curve.max_bytes() >= comm_required_hi) {
+      config = apply_comm_calibration(std::move(config), std::move(curve),
+                                      comm_required_lo, comm_required_hi);
+      status.comm_loaded = true;
+      detail << "comm: calibrated from " << comm_path;
+    } else {
+      detail << "comm: " << comm_path << " knots [" << curve.min_bytes()
+             << ", " << curve.max_bytes()
+             << "] do not cover probed payloads [" << comm_required_lo
+             << ", " << comm_required_hi
+             << "], analytic model in effect";
+    }
+  }
+  status.detail = detail.str();
+  return status;
 }
 
 }  // namespace mpipe::sim

@@ -78,4 +78,35 @@ CostModelConfig apply_comm_calibration(CostModelConfig config,
                                        std::uint64_t required_lo,
                                        std::uint64_t required_hi);
 
+// ---- best-effort loading for entry points ----------------------------------
+
+/// What try_apply_calibration_files did, per curve, in human-readable form
+/// (examples and the trainer print `detail` so a silently-analytic cost
+/// model is visible).
+struct CalibrationStatus {
+  bool gemm_loaded = false;
+  bool comm_loaded = false;
+  std::string detail;
+};
+
+/// Directories searched for the committed CALIBRATION_*.csv files:
+/// $MPIPE_CALIBRATION_DIR (when set), then ".", "..", "../.." — entry
+/// points run from the repo root, the build tree, or build/examples.
+std::vector<std::string> default_calibration_dirs();
+
+/// Installs whichever of CALIBRATION_gemm.csv / CALIBRATION_alltoall.csv
+/// can be found *and* covers the required probe ranges into `config`.
+/// Graceful by design: a missing file or insufficient knot coverage (the
+/// workload probes outside the calibrated sweep) skips that curve and
+/// records why in the returned status — the analytic formulas stay in
+/// effect. A file that exists but fails structural validation still
+/// throws: a corrupt committed artifact should be loud. Pass
+/// comm_required_hi = 0 to skip the comm curve (single-device groups
+/// never consult it).
+CalibrationStatus try_apply_calibration_files(
+    CostModelConfig& config, std::int64_t gemm_required_lo,
+    std::int64_t gemm_required_hi, std::uint64_t comm_required_lo,
+    std::uint64_t comm_required_hi,
+    const std::vector<std::string>& search_dirs = default_calibration_dirs());
+
 }  // namespace mpipe::sim

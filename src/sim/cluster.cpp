@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace mpipe::sim {
 
@@ -34,8 +35,12 @@ std::vector<int> Cluster::all_device_ids() const {
   return ids;
 }
 
-TimingResult Cluster::run(const OpGraph& graph) {
-  run_functional(graph);
+void Cluster::set_cost_config(CostModelConfig config) {
+  cost_model_ = CostModel(std::move(config), topology_);
+}
+
+TimingResult Cluster::run(const OpGraph& graph, ExecutionPolicy policy) {
+  run_functional(graph, policy);
   return time_only(graph);
 }
 
@@ -44,8 +49,16 @@ TimingResult Cluster::time_only(const OpGraph& graph) {
   return engine.run(graph);
 }
 
-void Cluster::run_functional(const OpGraph& graph) {
+void Cluster::run_functional(const OpGraph& graph, ExecutionPolicy policy) {
   graph.validate(num_devices());
+  if (policy == ExecutionPolicy::kParallel && !graph.is_timing_only()) {
+    // Prove the schedule safe before overlapping it: every op pair the
+    // dependency graph leaves unordered must have declared, disjoint
+    // read/write sets.
+    validate_hazards(graph);
+    run_graph_parallel(graph, ThreadPool::shared());
+    return;
+  }
   for (int id : graph.topo_order()) {
     const Op& op = graph.op(id);
     if (op.fn) op.fn();

@@ -9,6 +9,7 @@
 
 #include "sim/cost_model.h"
 #include "sim/device.h"
+#include "sim/graph_executor.h"
 #include "sim/interference.h"
 #include "sim/op_graph.h"
 #include "sim/timing_engine.h"
@@ -37,15 +38,25 @@ class Cluster {
   const CostModel& cost_model() const { return cost_model_; }
   const InterferenceModel& interference() const { return interference_; }
 
-  /// Functional + timed execution.
-  TimingResult run(const OpGraph& graph);
+  /// Replaces the cost-model configuration (same topology). Entry points
+  /// use this to install measured calibration curves after construction.
+  void set_cost_config(CostModelConfig config);
+
+  /// Functional + timed execution. Under ExecutionPolicy::kParallel the
+  /// closures run concurrently on the shared ThreadPool after the hazard
+  /// validator proves every unordered op pair disjoint; kSerial is the
+  /// deterministic topological reference order. Both produce bitwise
+  /// identical tensor results.
+  TimingResult run(const OpGraph& graph,
+                   ExecutionPolicy policy = ExecutionPolicy::kSerial);
 
   /// Timed execution only (closures not invoked) — used by the adaptive
   /// granularity search to probe candidate schedules cheaply.
   TimingResult time_only(const OpGraph& graph);
 
   /// Functional execution only (no timing) — used in numerics tests.
-  void run_functional(const OpGraph& graph);
+  void run_functional(const OpGraph& graph,
+                      ExecutionPolicy policy = ExecutionPolicy::kSerial);
 
  private:
   Topology topology_;

@@ -1,0 +1,53 @@
+#pragma once
+/// \file graph_executor.h
+/// Concurrent functional execution of an OpGraph: a dependency-counting
+/// worklist over the shared ThreadPool. An op becomes ready when every
+/// predecessor (explicit dep or implicit per-stream FIFO edge) has
+/// finished, so independent partitions'/devices' S / C1 / C2 / R ops — and
+/// the mem-stream offload copies — genuinely overlap instead of merely
+/// being *simulated* to overlap by the timing engine. Nested parallel_for
+/// calls issued from op bodies keep the PR-1 contract: on a pool worker
+/// they run inline, so op-level and kernel-level parallelism compose
+/// without deadlock.
+///
+/// Safety is proved, not assumed: validate_hazards() checks every pair of
+/// ops the dependency graph leaves unordered for disjoint declared
+/// read/write byte ranges (Op::reads / Op::writes). The ring-buffer WAR
+/// edges of §III-D reuse already encode most of the ordering; the
+/// validator is what catches a missing edge before it becomes a data race.
+/// Because all cross-op ordering comes from graph edges — never from
+/// execution timing — parallel execution is bitwise identical to the
+/// serial topological reference order for any pool size.
+
+#include "common/thread_pool.h"
+#include "sim/op_graph.h"
+
+namespace mpipe::sim {
+
+/// How Cluster::run / run_functional execute a graph's closures.
+enum class ExecutionPolicy {
+  kSerial,    ///< deterministic topological order (reference mode)
+  kParallel,  ///< dependency-counting worklist on the shared ThreadPool
+};
+
+/// Runs every functional closure of `graph` concurrently on `pool`,
+/// honouring explicit deps + per-stream FIFO edges. Blocks until all ops
+/// finished. The calling thread participates in draining ready ops. The
+/// first exception thrown by a closure is rethrown after the remaining
+/// ops are cancelled (their closures are skipped, dependency counts still
+/// propagate so the executor always terminates). Called from inside a
+/// pool worker it degrades to the serial reference order — enqueueing
+/// sub-tasks the blocked parent waits on could deadlock the pool.
+void run_graph_parallel(const OpGraph& graph, ThreadPool& pool);
+
+/// Throws CheckError naming the offending op pair when two ops that the
+/// dependency graph leaves unordered declare overlapping byte ranges with
+/// at least one write — or when a functional op that can run concurrently
+/// with another functional op declares no accesses at all (an undeclared
+/// closure is unverifiable, which is treated as a hazard). Timing-only
+/// ops (no closure) are ignored. Cluster::run_functional calls this
+/// before every parallel execution; tests call it directly on
+/// deliberately broken graphs.
+void validate_hazards(const OpGraph& graph);
+
+}  // namespace mpipe::sim

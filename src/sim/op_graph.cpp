@@ -46,36 +46,40 @@ Op& OpGraph::op(int id) {
   return ops_[static_cast<std::size_t>(id)];
 }
 
-namespace {
-
-// Builds adjacency over explicit deps plus the implicit FIFO edge from each
-// stream's previous op to the next one enqueued on the same stream.
-std::vector<std::vector<int>> combined_adjacency(const std::vector<Op>& ops,
-                                                 std::vector<int>& in_deg) {
-  std::vector<std::vector<int>> out(ops.size());
-  in_deg.assign(ops.size(), 0);
-  for (const Op& op : ops) {
+OpGraph::DependencyView OpGraph::dependency_view() const {
+  // Adjacency over explicit deps plus the implicit FIFO edge from each
+  // stream's previous op to the next one enqueued on the same stream.
+  DependencyView view;
+  view.successors.resize(ops_.size());
+  view.in_degree.assign(ops_.size(), 0);
+  for (const Op& op : ops_) {
     for (int dep : op.deps) {
-      out[static_cast<std::size_t>(dep)].push_back(op.id);
-      ++in_deg[static_cast<std::size_t>(op.id)];
+      view.successors[static_cast<std::size_t>(dep)].push_back(op.id);
+      ++view.in_degree[static_cast<std::size_t>(op.id)];
     }
   }
   std::map<std::pair<int, int>, int> last_on_stream;  // (device, kind) -> id
-  for (const Op& op : ops) {
+  for (const Op& op : ops_) {
     for (int device : op.devices) {
       const auto key = std::make_pair(device, static_cast<int>(op.stream));
       auto it = last_on_stream.find(key);
       if (it != last_on_stream.end()) {
-        out[static_cast<std::size_t>(it->second)].push_back(op.id);
-        ++in_deg[static_cast<std::size_t>(op.id)];
+        view.successors[static_cast<std::size_t>(it->second)]
+            .push_back(op.id);
+        ++view.in_degree[static_cast<std::size_t>(op.id)];
       }
       last_on_stream[key] = op.id;
     }
   }
-  return out;
+  return view;
 }
 
-}  // namespace
+bool OpGraph::is_timing_only() const {
+  for (const Op& op : ops_) {
+    if (op.fn) return false;
+  }
+  return true;
+}
 
 void OpGraph::validate(int num_devices) const {
   for (const Op& op : ops_) {
@@ -94,8 +98,8 @@ void OpGraph::validate(int num_devices) const {
 }
 
 std::vector<int> OpGraph::topo_order() const {
-  std::vector<int> in_deg;
-  const auto adj = combined_adjacency(ops_, in_deg);
+  DependencyView view = dependency_view();
+  std::vector<int>& in_deg = view.in_degree;
   EventQueue<int> ready;
   for (const Op& op : ops_) {
     if (in_deg[static_cast<std::size_t>(op.id)] == 0) {
@@ -107,7 +111,7 @@ std::vector<int> OpGraph::topo_order() const {
   while (!ready.empty()) {
     const int id = ready.pop();
     order.push_back(id);
-    for (int next : adj[static_cast<std::size_t>(id)]) {
+    for (int next : view.successors[static_cast<std::size_t>(id)]) {
       if (--in_deg[static_cast<std::size_t>(next)] == 0) {
         ready.push(static_cast<double>(next), next);
       }

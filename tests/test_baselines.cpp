@@ -91,6 +91,46 @@ TEST(Baselines, FasterMoEMatchesMPipeMoEForwardAndBackward) {
   }
 }
 
+TEST(Baselines, FasterMoEParallelExecutionMatchesSerialBitwise) {
+  // The P2P-fragmented baseline graphs run on the concurrent executor too
+  // (their send/recv ops self-annotate from segment tables); parallel
+  // execution must reproduce the serial reference bit for bit.
+  auto run = [](bool parallel) {
+    sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+    baselines::FasterMoEOptions fo;
+    fo.d_model = 12;
+    fo.d_hidden = 24;
+    fo.num_experts = 8;
+    fo.parallel_execution = parallel;
+    fo.seed = 5;
+    baselines::FasterMoELayer faster(cluster, fo);
+    auto inputs = make_inputs(4, 19, 12, 77);
+    auto outs = faster.forward(inputs);
+    std::vector<Tensor> grads;
+    Rng rng(9);
+    for (auto& out : outs) {
+      Tensor g(out.shape());
+      init_normal(g, rng, 1.0f);
+      grads.push_back(g);
+    }
+    auto dx = faster.backward(grads);
+    std::vector<float> flat;
+    for (const Tensor& t : outs) {
+      flat.insert(flat.end(), t.data(), t.data() + t.numel());
+    }
+    for (const Tensor& t : dx) {
+      flat.insert(flat.end(), t.data(), t.data() + t.numel());
+    }
+    return flat;
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+  }
+}
+
 TEST(Baselines, PipeMoEFasterThanBaselinesAtPaperScale) {
   sim::Cluster cluster = sim::Cluster::dgx_a100_pod(8, 8);
   core::MoELayerOptions po;

@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "moe/expert.h"
 #include "moe/layer_norm.h"
 #include "sim/calibration.h"
 #include "sim/cluster.h"
+#include "sim/graph_executor.h"
 #include "tensor/ops.h"
 #include "tensor/random_init.h"
 
@@ -613,6 +615,157 @@ TEST(SimdEquivalenceFuzz, LayerNormMatchesScalarReference) {
       EXPECT_NEAR(ln.beta_grad().at(c), bg[static_cast<std::size_t>(c)],
                   5e-3);
     }
+  }
+}
+
+// ---- concurrent executor fuzz ----------------------------------------------
+
+struct ExecFuzzCase {
+  std::uint64_t seed;
+  int ops;
+  int devices;
+  int slots;  ///< shared ring slots carrying WAR chains (0 = none)
+};
+
+struct ExecFuzzBuffers {
+  std::vector<float> cells;  ///< one private result cell per op
+  std::vector<float> slots;  ///< shared, reused across ops (ring-style)
+};
+
+/// Random DAG whose closures do real float math: every op writes its own
+/// cell from its deps' cells; ring ops additionally read-modify-write a
+/// shared slot, chained to the slot's previous user by an explicit WAR/
+/// serialisation edge (the chain edge is exactly what the planted-missing-
+/// edge test below removes). All accesses are declared, so the graphs are
+/// validator-clean by construction.
+OpGraph random_exec_graph(const ExecFuzzCase& c, ExecFuzzBuffers& buf) {
+  Rng rng(c.seed);
+  buf.cells.assign(static_cast<std::size_t>(std::max(c.ops, 1)), 0.0f);
+  buf.slots.assign(static_cast<std::size_t>(std::max(c.slots, 1)), 0.0f);
+  float* cells = buf.cells.data();
+  float* slots = buf.slots.data();
+  std::vector<int> last_slot_user(static_cast<std::size_t>(c.slots), -1);
+
+  OpGraph g;
+  for (int i = 0; i < c.ops; ++i) {
+    Op op;
+    op.label = "op" + std::to_string(i);
+    op.stream = static_cast<StreamKind>(rng.uniform_index(3));
+    op.devices = {static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(c.devices)))};
+    op.base_seconds = 1e-6;
+
+    std::vector<int> deps;
+    for (int k = 0; k < 3 && i > 0; ++k) {
+      if (rng.uniform() < 0.3) {
+        const int dep = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(i)));
+        if (std::find(deps.begin(), deps.end(), dep) == deps.end()) {
+          deps.push_back(dep);
+        }
+      }
+    }
+
+    int slot = -1;
+    if (c.slots > 0 && rng.uniform() < 0.4) {
+      slot = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(c.slots)));
+      const int prev = last_slot_user[static_cast<std::size_t>(slot)];
+      if (prev >= 0 &&
+          std::find(deps.begin(), deps.end(), prev) == deps.end()) {
+        deps.push_back(prev);  // the WAR/serialisation chain edge
+      }
+      last_slot_user[static_cast<std::size_t>(slot)] = i;
+    }
+
+    op.deps = deps;
+    op.fn = [cells, slots, deps, i, slot] {
+      float acc = static_cast<float>(i + 1);
+      for (int dep : deps) acc += cells[dep] * 1.25f;
+      if (slot >= 0) {
+        slots[slot] = slots[slot] * 0.75f + acc;
+        acc += slots[slot] * 0.5f;
+      }
+      cells[i] = acc;
+    };
+    for (int dep : deps) op.reads.push_back(access_floats(cells, dep, 1));
+    if (slot >= 0) {
+      op.reads.push_back(access_floats(slots, slot, 1));
+      op.writes.push_back(access_floats(slots, slot, 1));
+    }
+    op.writes.push_back(access_floats(cells, i, 1));
+    g.add(std::move(op));
+  }
+  return g;
+}
+
+TEST(GraphExecutorFuzz, RandomDagsMatchSerialBitwiseAcrossPoolSizes) {
+  // Includes the degenerate shapes the executor must not trip on: the
+  // zero-op and single-op graphs, single-device graphs (everything FIFO-
+  // serialised), and dense multi-slot WAR chains.
+  const std::vector<ExecFuzzCase> cases = {
+      {101, 0, 1, 0},  {102, 1, 1, 0},  {103, 1, 4, 2},  {104, 7, 1, 0},
+      {105, 16, 2, 1}, {106, 33, 4, 3}, {107, 60, 4, 5}, {108, 45, 8, 2},
+      {109, 24, 3, 4}, {110, 80, 6, 6},
+  };
+  for (const auto& c : cases) {
+    Cluster cluster = Cluster::dgx_a100_pod(1, std::max(c.devices, 2));
+    ExecFuzzBuffers reference;
+    OpGraph serial_graph = random_exec_graph(c, reference);
+    cluster.run_functional(serial_graph, ExecutionPolicy::kSerial);
+
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool::reset_shared(threads);
+      ExecFuzzBuffers observed;
+      OpGraph parallel_graph = random_exec_graph(c, observed);
+      cluster.run_functional(parallel_graph, ExecutionPolicy::kParallel);
+      ASSERT_EQ(reference.cells.size(), observed.cells.size());
+      for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+        // Bitwise: identical observable writes, any pool size.
+        ASSERT_EQ(reference.cells[i], observed.cells[i])
+            << "seed " << c.seed << " cell " << i << " threads " << threads;
+      }
+      for (std::size_t s = 0; s < reference.slots.size(); ++s) {
+        ASSERT_EQ(reference.slots[s], observed.slots[s])
+            << "seed " << c.seed << " slot " << s << " threads " << threads;
+      }
+    }
+  }
+  ThreadPool::reset_shared(0);
+}
+
+TEST(GraphExecutorFuzz, PlantedMissingWarEdgeIsRejectedLoudly) {
+  // Take a validator-clean random graph and append two writers of a fresh
+  // shared slot on different devices with no ordering edge between them —
+  // the exact shape of a forgotten WAR edge. The validator must reject
+  // every such graph; re-adding the chain edge must make it pass again.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    ExecFuzzCase c{200 + seed, static_cast<int>(seed % 12), 4, 2};
+    ExecFuzzBuffers buf;
+    OpGraph g = random_exec_graph(c, buf);
+    static float shared_slot = 0.0f;
+
+    Op first;
+    first.label = "war_first";
+    first.stream = static_cast<StreamKind>(seed % 3);
+    first.devices = {0};
+    first.fn = [] { shared_slot += 1.0f; };
+    first.reads.push_back(access_floats(&shared_slot, 0, 1));
+    first.writes.push_back(access_floats(&shared_slot, 0, 1));
+    const int first_id = g.add(std::move(first));
+
+    Op second;
+    second.label = "war_second";
+    second.stream = static_cast<StreamKind>((seed + 1) % 3);
+    second.devices = {1 + static_cast<int>(seed % 3)};
+    second.fn = [] { shared_slot *= 2.0f; };
+    second.reads.push_back(access_floats(&shared_slot, 0, 1));
+    second.writes.push_back(access_floats(&shared_slot, 0, 1));
+    const int second_id = g.add(std::move(second));
+
+    EXPECT_THROW(validate_hazards(g), CheckError) << "seed " << seed;
+    g.op(second_id).deps.push_back(first_id);
+    EXPECT_NO_THROW(validate_hazards(g)) << "seed " << seed;
   }
 }
 

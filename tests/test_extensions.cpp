@@ -83,6 +83,7 @@ TEST(GeluExpert, DistributedLayerTrainsWithGelu) {
   topt.workload.num_devices = 2;
   topt.adam.lr = 3e-3f;
   topt.steps = 10;
+  topt.load_calibration = false;  // hermetic: no cwd-dependent curves
   runtime::Trainer trainer(layer, topt);
   const auto& metrics = trainer.run();
   EXPECT_LT(metrics.last_loss(), metrics.first_loss());

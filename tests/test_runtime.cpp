@@ -121,6 +121,7 @@ TEST_P(TrainingDescent, LossDecreasesOverSteps) {
   topt.workload.seed = 5;
   topt.adam.lr = 3e-3f;
   topt.steps = 12;
+  topt.load_calibration = false;  // hermetic: no cwd-dependent curves
   runtime::Trainer trainer(layer, topt);
   const auto& metrics = trainer.run();
   EXPECT_LT(metrics.last_loss(), metrics.first_loss() * 0.9)
@@ -174,12 +175,13 @@ TEST(TrainingDeterminism, AdamStepBitwiseAcrossThreadCounts) {
 TEST(TrainingDeterminism, BitwiseIdenticalLossesAcrossThreadCounts) {
   // The GEMM tile grid, the bias-grad epilogue's column-range ownership,
   // the row-parallel softmax/layer-norm kernels, the span gather/scatter
-  // fan-out, and the vectorized Adam step are all designed so
-  // results never depend on how chunks land on workers. Lock that in:
-  // identical seeds must give bit-identical losses under 1, 4 and 8 pool
-  // threads. Sizes are chosen so the FFN GEMMs span multiple tiles and
-  // parallel_for actually fans out (tile grid > 1, rows > grain).
-  auto run_losses = [](std::size_t threads) {
+  // fan-out, the vectorized Adam step, and the concurrent op-graph
+  // executor are all designed so results never depend on how work lands
+  // on workers. Lock that in: identical seeds must give bit-identical
+  // losses under serial and parallel graph execution, each at 1, 4 and 8
+  // pool threads. Sizes are chosen so the FFN GEMMs span multiple tiles
+  // and parallel_for actually fans out (tile grid > 1, rows > grain).
+  auto run_losses = [](std::size_t threads, bool parallel_execution) {
     ThreadPool::reset_shared(threads);
     sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
     core::MoELayerOptions o;
@@ -189,6 +191,7 @@ TEST(TrainingDeterminism, BitwiseIdenticalLossesAcrossThreadCounts) {
     o.num_partitions = 2;
     o.memory_reuse = true;
     o.strategy = core::ReuseStrategy::kS1;
+    o.parallel_execution = parallel_execution;
     o.seed = 77;
     core::MoELayer layer(cluster, o);
     runtime::TrainerOptions topt;
@@ -197,22 +200,27 @@ TEST(TrainingDeterminism, BitwiseIdenticalLossesAcrossThreadCounts) {
     topt.workload.num_devices = 4;
     topt.workload.seed = 9;
     topt.adam.lr = 1e-3f;
+    topt.load_calibration = false;  // hermetic: no cwd-dependent curves
     std::vector<double> losses;
     runtime::Trainer trainer(layer, topt);
     for (int i = 0; i < 5; ++i) losses.push_back(trainer.train_step());
     return losses;
   };
-  const auto l1 = run_losses(1);
-  const auto l4 = run_losses(4);
-  const auto l8 = run_losses(8);
-  ThreadPool::reset_shared(0);  // restore the machine-sized pool
-  ASSERT_EQ(l1.size(), l4.size());
-  ASSERT_EQ(l1.size(), l8.size());
-  for (std::size_t i = 0; i < l1.size(); ++i) {
-    // Bitwise, not approximate: EXPECT_EQ on doubles.
-    EXPECT_EQ(l1[i], l4[i]) << "step " << i;
-    EXPECT_EQ(l1[i], l8[i]) << "step " << i;
+  const auto reference = run_losses(1, /*parallel_execution=*/false);
+  for (bool parallel : {false, true}) {
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      if (!parallel && threads == 1) continue;  // the reference itself
+      const auto losses = run_losses(threads, parallel);
+      ASSERT_EQ(reference.size(), losses.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        // Bitwise, not approximate: EXPECT_EQ on doubles.
+        EXPECT_EQ(reference[i], losses[i])
+            << "step " << i << " (threads=" << threads
+            << ", parallel_execution=" << parallel << ")";
+      }
+    }
   }
+  ThreadPool::reset_shared(0);  // restore the machine-sized pool
 }
 
 TEST(TrainingAdaptive, DynamicBatchesReuseSearchState) {
@@ -232,6 +240,7 @@ TEST(TrainingAdaptive, DynamicBatchesReuseSearchState) {
   topt.workload.num_devices = 4;
   topt.workload.batch_jitter = 0.4;  // dynamic B, as in MoE training
   topt.steps = 10;
+  topt.load_calibration = false;  // hermetic: no cwd-dependent curves
   runtime::Trainer trainer(layer, topt);
   trainer.run();
   const auto& stats = layer.searcher().stats();
