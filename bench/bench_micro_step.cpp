@@ -22,7 +22,8 @@ struct StepHarness {
   core::MoELayer layer;
   runtime::Trainer trainer;
 
-  static core::MoELayerOptions layer_options(bool parallel) {
+  static core::MoELayerOptions layer_options(bool parallel,
+                                             bool profile = false) {
     core::MoELayerOptions o;
     o.d_model = 64;
     o.d_hidden = 256;
@@ -31,6 +32,7 @@ struct StepHarness {
     o.memory_reuse = true;
     o.strategy = core::ReuseStrategy::kS1;
     o.parallel_execution = parallel;
+    o.profile_execution = profile;
     o.seed = 13;
     return o;
   }
@@ -47,15 +49,15 @@ struct StepHarness {
     return t;
   }
 
-  explicit StepHarness(bool parallel)
-      : layer(cluster, layer_options(parallel)),
+  explicit StepHarness(bool parallel, bool profile = false)
+      : layer(cluster, layer_options(parallel, profile)),
         trainer(layer, trainer_options()) {}
 };
 
-void run_steps(benchmark::State& state, bool parallel,
-               std::size_t workers) {
+void run_steps(benchmark::State& state, bool parallel, std::size_t workers,
+               bool profile = false) {
   ThreadPool::reset_shared(workers);
-  StepHarness harness(parallel);
+  StepHarness harness(parallel, profile);
   harness.trainer.train_step();  // warm up: buffers, staging, pool
   std::int64_t steps = 0;
   for (auto _ : state) {
@@ -85,6 +87,20 @@ BENCHMARK(BM_TrainStepParallel)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Wall-clock profiling on (per-op timestamps + timeline reconstruction +
+// measured-vs-modeled diff + trace JSON each step): the row documents the
+// observability overhead against BM_TrainStepSerial/1. The recording
+// itself is two steady_clock reads per op; the reconstruction/diff/JSON
+// dominate whatever gap shows here.
+void BM_TrainStepProfiled(benchmark::State& state) {
+  run_steps(state, /*parallel=*/false,
+            static_cast<std::size_t>(state.range(0)), /*profile=*/true);
+}
+BENCHMARK(BM_TrainStepProfiled)
+    ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -2,7 +2,7 @@
 # Runs the micro benches and emits machine-readable results so future PRs
 # have a perf trajectory to compare against.
 #
-# Usage: bench/run_benches.sh [--check] [build_dir] [baseline_dir]
+# Usage: bench/run_benches.sh [--check] [--advisory] [build_dir] [baseline_dir]
 #   --check       do not overwrite the trajectory: run a quick sweep into a
 #                 scratch dir and diff against the committed BENCH_*.json in
 #                 baseline_dir. Fails when any benchmark drops >15% below
@@ -10,6 +10,10 @@
 #                 0.8 (see check_bench_regression.py for the exact
 #                 contract); one automatic retry absorbs scheduler noise.
 #                 Exits 77 (CTest SKIP) if python3 or a baseline is missing.
+#   --advisory    with --check: still run the full diff and print every
+#                 regression, but exit 0 regardless. For noisy shared
+#                 runners (CI perf-sanity job) where a hard gate would
+#                 flake; the local CTest gate stays strict.
 #   build_dir     CMake build tree holding bench/ binaries (default: build)
 #   baseline_dir  where BENCH_*.json live; in normal mode results are
 #                 written here (default: repo root)
@@ -17,18 +21,42 @@
 set -euo pipefail
 
 CHECK=0
-if [[ "${1:-}" == "--check" ]]; then
-  CHECK=1
+ADVISORY=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --check) CHECK=1 ;;
+    --advisory) ADVISORY=1 ;;
+    *)
+      echo "error: unknown flag $1" >&2
+      exit 2
+      ;;
+  esac
   shift
+done
+
+if [[ "${ADVISORY}" == "1" && "${CHECK}" == "0" ]]; then
+  echo "error: --advisory only makes sense with --check (normal mode would" >&2
+  echo "       overwrite the committed BENCH_*.json trajectory)" >&2
+  exit 2
 fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_micro_gemm" ]]; then
-  echo "error: ${BUILD_DIR}/bench/bench_micro_gemm not built." >&2
-  echo "Run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+# Name every missing binary (not just the first): a partial build otherwise
+# produces a hard-to-debug one-liner in CI logs.
+MISSING=0
+for bin in bench_micro_gemm bench_micro_alltoall bench_micro_datamove \
+           bench_micro_step; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
+    echo "error: bench binary missing: ${BUILD_DIR}/bench/${bin}" >&2
+    MISSING=1
+  fi
+done
+if [[ "${MISSING}" == "1" ]]; then
+  echo "Build the bench targets first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
 fi
 
@@ -94,4 +122,12 @@ if check_once; then
   exit 0
 fi
 echo "== regression reported; retrying once to rule out scheduler noise =="
-check_once
+if check_once; then
+  exit 0
+fi
+if [[ "${ADVISORY}" == "1" ]]; then
+  echo "== advisory mode: regressions reported above, NOT failing the run =="
+  echo "   (shared-runner noise; treat as a pointer, reproduce locally)"
+  exit 0
+fi
+exit 1

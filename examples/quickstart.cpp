@@ -38,10 +38,18 @@ int main() {
   // The trainer installs the committed measured calibration curves when
   // they cover this workload's probe ranges (falls back to the analytic
   // cost model otherwise).
+  // Online measured-vs-modeled loop: profile the first two steps' per-op
+  // wall clock, fit compute/comm/memcpy correction factors, and let the
+  // adaptive selectors re-rank the remaining steps with corrected costs.
+  topt.profile_warmup_steps = 2;
   runtime::Trainer trainer(layer, topt);
   std::printf("calibration: %s\n",
               trainer.calibration_status().detail.c_str());
   trainer.run();
+  const auto& corr = trainer.corrections();
+  std::printf("fitted corrections (measured/modeled): compute x%.2f, "
+              "comm x%.2f, memcpy x%.2f\n",
+              corr.compute, corr.comm, corr.memcpy);
 
   const auto& report = layer.last_report();
   std::printf("=== MPipeMoE quickstart ===\n");

@@ -85,6 +85,12 @@ int GranularitySearcher::search_best(std::int64_t b) {
   return best_n;
 }
 
+void GranularitySearcher::invalidate() {
+  cache_.clear();
+  ranges_ = RangeSet{};
+  ++stats_.invalidations;
+}
+
 int GranularitySearcher::configure(std::int64_t b) {
   MPIPE_EXPECTS(b >= 1, "batch must hold at least one token");
   // Lines 3-5: exact-B cache.

@@ -20,6 +20,7 @@ struct SearchStats {
   std::size_t range_hits = 0;
   std::size_t full_searches = 0;
   std::size_t trials = 0;  ///< individual (B, n) measurements
+  std::size_t invalidations = 0;  ///< cache flushes after trial-fn changes
 };
 
 class GranularitySearcher {
@@ -33,6 +34,14 @@ class GranularitySearcher {
 
   /// Algorithm 1: returns the number of partitions for batch size B.
   int configure(std::int64_t b);
+
+  /// Drops the exact-B cache and the monotone ranges so every future
+  /// configure() re-measures. Required whenever the trial function's cost
+  /// landscape changes underneath the searcher — installing measured
+  /// per-op-class correction factors (sim::OpClassCorrections) is exactly
+  /// that: cached verdicts ranked by the uncorrected model would otherwise
+  /// shadow the reality-corrected ranking forever.
+  void invalidate();
 
   const SearchStats& stats() const { return stats_; }
   const RangeSet& ranges() const { return ranges_; }

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "sim/trace.h"
 
 namespace mpipe::core {
 
@@ -168,13 +169,27 @@ int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
   return searcher_->configure(tokens_per_device);
 }
 
+void MoELayer::set_corrections(const sim::OpClassCorrections& corrections) {
+  MPIPE_EXPECTS(corrections.compute > 0.0 && corrections.comm > 0.0 &&
+                    corrections.memcpy > 0.0,
+                "correction factors must be positive");
+  if (corrections.compute == corrections_.compute &&
+      corrections.comm == corrections_.comm &&
+      corrections.memcpy == corrections_.memcpy) {
+    return;  // unchanged landscape: cached search verdicts stay valid
+  }
+  corrections_ = corrections;
+  searcher_->invalidate();
+}
+
 ReuseStrategy MoELayer::configure_strategy(std::int64_t tokens_per_device,
                                            int n) {
   if (!options_.memory_reuse || n <= 1) return ReuseStrategy::kNone;
   if (options_.strategy.has_value()) return *options_.strategy;
   const std::int64_t micro = std::max<std::int64_t>(1, tokens_per_device / n);
   StrategySelector selector(
-      StrategySelector::measure(*cluster_, micro, options_.d_model));
+      StrategySelector::measure(*cluster_, micro, options_.d_model),
+      corrections_);
   strategy_choice_ = selector.select(micro, options_.d_model,
                                      options_.d_hidden);
   return strategy_choice_.strategy;
@@ -198,6 +213,11 @@ double MoELayer::probe_step_seconds(std::int64_t tokens_per_device, int n,
   // invokes closures, and an all-timing graph keeps it that way).
   MPIPE_EXPECTS(fwd.is_timing_only() && bwd.is_timing_only(),
                 "granularity probe built a functional graph");
+  // Reality correction: scale each op class by its fitted measured/modeled
+  // factor before timing, so the search ranks candidates by what profiled
+  // steps say the hardware actually does (identity factors are a no-op).
+  sim::apply_corrections(fwd, corrections_);
+  sim::apply_corrections(bwd, corrections_);
   const double t_fwd = cluster_->time_only(fwd).makespan;
   const double t_bwd = cluster_->time_only(bwd).makespan;
   return t_fwd + t_bwd;
@@ -389,8 +409,22 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
   report_ = StepReport{};
   report_.n_partitions = n;
   report_.strategy = strategy;
-  report_.forward_timing = cluster_->run(graph, exec_policy());
+  sim::ExecutionProfile profile;
+  sim::ExecutionProfile* sink =
+      options_.profile_execution ? &profile : nullptr;
+  report_.forward_timing = cluster_->run(graph, exec_policy(), sink);
   report_.forward_seconds = report_.forward_timing.makespan;
+  if (sink) {
+    report_.profiled = true;
+    report_.forward_measured =
+        sim::build_timeline(graph, profile, num_devices());
+    report_.forward_diff = sim::diff_schedules(
+        graph, report_.forward_timing, report_.forward_measured);
+    if (options_.trace_execution) {
+      report_.forward_trace_json = sim::to_chrome_trace(
+          graph, report_.forward_timing, report_.forward_measured);
+    }
+  }
 
   std::vector<Tensor> outputs;
   outputs.reserve(static_cast<std::size_t>(num_devices()));
@@ -415,8 +449,22 @@ std::vector<Tensor> MoELayer::backward(
   setup_backward_buffers(*ctx_);
 
   sim::OpGraph graph = builder_.build_backward(*ctx_, refs());
-  report_.backward_timing = cluster_->run(graph, exec_policy());
+  sim::ExecutionProfile profile;
+  sim::ExecutionProfile* sink =
+      options_.profile_execution ? &profile : nullptr;
+  report_.backward_timing = cluster_->run(graph, exec_policy(), sink);
   report_.backward_seconds = report_.backward_timing.makespan;
+  if (sink) {
+    report_.profiled = true;
+    report_.backward_measured =
+        sim::build_timeline(graph, profile, num_devices());
+    report_.backward_diff = sim::diff_schedules(
+        graph, report_.backward_timing, report_.backward_measured);
+    if (options_.trace_execution) {
+      report_.backward_trace_json = sim::to_chrome_trace(
+          graph, report_.backward_timing, report_.backward_measured);
+    }
+  }
   report_.mean_gpu_utilization =
       combined_utilization(report_.forward_timing, report_.backward_timing);
 

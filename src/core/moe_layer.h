@@ -67,6 +67,20 @@ struct MoELayerOptions {
   /// produce bitwise identical results for any pool size.
   bool parallel_execution = false;
 
+  /// Record per-op wall-clock timestamps while forward()/backward()
+  /// execute (either policy) and fill StepReport's measured timeline and
+  /// simulated-vs-measured diff. Off by default: the executors then skip
+  /// recording entirely (one pointer test per op) and the outputs stay
+  /// bitwise identical either way.
+  bool profile_execution = false;
+
+  /// Additionally serialise each profiled step's measured-vs-simulated
+  /// chrome trace into StepReport::forward/backward_trace_json. Separate
+  /// from profile_execution because the JSON is pure inspection output —
+  /// the correction loop needs only the diffs, and most profiled steps
+  /// would build strings nobody reads. No effect when profiling is off.
+  bool trace_execution = false;
+
   ExecutionMode mode = ExecutionMode::kFull;
   std::uint64_t seed = 42;
 };
@@ -102,6 +116,26 @@ class MoELayer {
   /// Simulates one training step (fwd+bwd) with `tokens_per_device` tokens
   /// and synthetic balanced routing (optionally skewed toward device 0).
   StepReport step_timing(std::int64_t tokens_per_device, double skew = 0.0);
+
+  // ---- measured-vs-modeled loop --------------------------------------------
+  /// Toggles wall-clock profiling after construction (runtime::Trainer
+  /// flips it on for its correction-fit warmup steps).
+  void set_profile_execution(bool on) { options_.profile_execution = on; }
+
+  /// Toggles chrome-trace serialisation of profiled steps (runtime::
+  /// Trainer flips it on for the warmup step whose trace it dumps).
+  void set_trace_execution(bool on) { options_.trace_execution = on; }
+
+  /// Installs measured per-op-class correction factors (fitted from
+  /// profiled steps, sim::CorrectionFit): granularity-search probes scale
+  /// their op costs by the factors before timing, and the Eq-10 strategy
+  /// selector derates its stream speeds the same way, so both selections
+  /// re-rank with reality-corrected costs. Changing the factors flushes
+  /// the searcher's cache/ranges (stale verdicts were ranked by the
+  /// uncorrected model). StepReport's simulated timings stay uncorrected —
+  /// they are the model-error baseline the factors are fitted against.
+  void set_corrections(const sim::OpClassCorrections& corrections);
+  const sim::OpClassCorrections& corrections() const { return corrections_; }
 
   // ---- introspection --------------------------------------------------------
   const StepReport& last_report() const { return report_; }
@@ -154,6 +188,7 @@ class MoELayer {
   std::unique_ptr<GranularitySearcher> searcher_;
   double probe_skew_ = 0.0;
   StrategyChoice strategy_choice_;
+  sim::OpClassCorrections corrections_;
   std::optional<MoeStepContext> ctx_;
   StepReport report_;
 };

@@ -5,9 +5,11 @@
 /// timed execution) lives in sim::Cluster; this layer aggregates.
 
 #include <cstdint>
+#include <string>
 
 #include "core/reuse_strategy.h"
 #include "mem/device_allocator.h"
+#include "sim/profile.h"
 #include "sim/timing_engine.h"
 
 namespace mpipe::core {
@@ -42,7 +44,33 @@ struct StepReport {
   sim::TimingResult forward_timing;
   sim::TimingResult backward_timing;
 
+  /// Measured wall-clock side, filled when the step ran with
+  /// MoELayerOptions::profile_execution: the reconstructed timelines and
+  /// the op-by-op simulated-vs-measured diffs. The chrome://tracing JSON
+  /// dumps (measured + simulated tracks per device) are additionally
+  /// gated on MoELayerOptions::trace_execution — inspection output only,
+  /// so routine profiled steps skip the serialisation. Empty and
+  /// cost-free when profiling is off.
+  bool profiled = false;
+  sim::MeasuredTimeline forward_measured;
+  sim::MeasuredTimeline backward_measured;
+  sim::ScheduleDiff forward_diff;
+  sim::ScheduleDiff backward_diff;
+  std::string forward_trace_json;
+  std::string backward_trace_json;
+
+  /// Simulated step time (the TimingEngine's makespans) — the "modeled"
+  /// number of the measured-vs-modeled pair.
   double step_seconds() const { return forward_seconds + backward_seconds; }
+  /// Measured step time (wall-clock makespans); 0 when not profiled.
+  double measured_step_seconds() const {
+    return forward_measured.makespan + backward_measured.makespan;
+  }
+  /// Per-op-class measured/modeled ratios over fwd+bwd — the model-error
+  /// summary, in the same shape the correction loop installs.
+  sim::OpClassCorrections model_error() const;
+  /// One-line measured-vs-modeled summary for logs and examples.
+  std::string model_error_summary() const;
 };
 
 /// Combines fwd+bwd utilisation: total useful compute over total makespan.

@@ -21,8 +21,28 @@ PerfModelParams StrategySelector::measure(const sim::Cluster& cluster,
   return p;
 }
 
-StrategySelector::StrategySelector(PerfModelParams params)
-    : model_(params) {}
+namespace {
+
+/// Measured time = factor × modeled time, and modeled time = work / speed,
+/// so a fitted factor k is equivalent to the stream running at speed/k.
+/// Folding the corrections into the speeds keeps Eq-10 untouched and makes
+/// the identity corrections an exact no-op.
+PerfModelParams corrected(PerfModelParams p,
+                          const sim::OpClassCorrections& c) {
+  if (c.identity()) return p;
+  MPIPE_EXPECTS(c.compute > 0.0 && c.comm > 0.0 && c.memcpy > 0.0,
+                "correction factors must be positive");
+  p.w_comp /= c.compute;
+  p.w_comm /= c.comm;
+  p.w_mem /= c.memcpy;
+  return p;
+}
+
+}  // namespace
+
+StrategySelector::StrategySelector(PerfModelParams params,
+                                   sim::OpClassCorrections corrections)
+    : model_(corrected(params, corrections)) {}
 
 StrategyChoice StrategySelector::select(std::int64_t b, std::int64_t m,
                                         std::int64_t h) const {

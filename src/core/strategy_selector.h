@@ -28,7 +28,14 @@ class StrategySelector {
                                  std::int64_t micro_batch,
                                  std::int64_t d_model);
 
-  explicit StrategySelector(PerfModelParams params);
+  /// `corrections` are the measured/modeled per-op-class factors fitted
+  /// from profiled steps (sim::CorrectionFit): a class whose ops measure
+  /// k× slower than modeled has its effective stream speed divided by k
+  /// before the Eq-10 ranking, so the selector ranks strategies by
+  /// reality-corrected costs. The identity (default) leaves every
+  /// candidate cost bit-for-bit unchanged.
+  explicit StrategySelector(PerfModelParams params,
+                            sim::OpClassCorrections corrections = {});
 
   /// Picks the cheapest of S1..S4 for a micro-batch of b tokens.
   StrategyChoice select(std::int64_t b, std::int64_t m, std::int64_t h) const;

@@ -12,8 +12,18 @@ void TrainingMetrics::record_step(double loss,
                                   const core::StepReport& report) {
   losses_.push_back(loss);
   step_seconds_.push_back(report.step_seconds());
+  if (report.profiled) {
+    measured_step_seconds_.push_back(report.measured_step_seconds());
+  }
   utilizations_.push_back(report.mean_gpu_utilization);
   peak_memory_ = std::max(peak_memory_, report.memory.total_peak);
+}
+
+double TrainingMetrics::mean_measured_step_seconds() const {
+  MPIPE_EXPECTS(!measured_step_seconds_.empty(), "no profiled steps");
+  double acc = 0.0;
+  for (double s : measured_step_seconds_) acc += s;
+  return acc / static_cast<double>(measured_step_seconds_.size());
 }
 
 double TrainingMetrics::first_loss() const {

@@ -26,11 +26,20 @@ class TrainingMetrics {
   std::uint64_t peak_memory_bytes() const { return peak_memory_; }
   double mean_gpu_utilization() const;
 
+  /// Measured wall-clock makespans of the steps that ran profiled (empty
+  /// when profiling never ran) — the measured half of the
+  /// measured-vs-modeled pair mean_step_seconds() models.
+  const std::vector<double>& measured_step_seconds() const {
+    return measured_step_seconds_;
+  }
+  double mean_measured_step_seconds() const;
+
   std::string summary() const;
 
  private:
   std::vector<double> losses_;
   std::vector<double> step_seconds_;
+  std::vector<double> measured_step_seconds_;
   std::vector<double> utilizations_;
   std::uint64_t peak_memory_ = 0;
 };

@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "tensor/ops.h"
 
 namespace mpipe::runtime {
+
+namespace {
+
+void write_json(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out || !(out << json)) {
+    MPIPE_LOG_WARN << "failed to write trace " << path;
+  }
+}
+
+}  // namespace
 
 Trainer::Trainer(core::MoELayer& layer, TrainerOptions options)
     : layer_(&layer), options_(options), workload_(options.workload) {
@@ -29,11 +42,31 @@ Trainer::Trainer(core::MoELayer& layer, TrainerOptions options)
     calibration_status_ = core::install_calibration(
         layer.cluster(), layer.options(), min_tokens, max_tokens);
   }
+  MPIPE_EXPECTS(options_.profile_warmup_steps >= 0,
+                "negative warmup step count");
   optimizer_ = std::make_unique<Adam>(layer.parameters(), layer.gradients(),
                                       options_.adam);
 }
 
 double Trainer::train_step() {
+  const bool warmup_profiling =
+      steps_run_ < options_.profile_warmup_steps && !corrections_installed_;
+  const bool last_warmup_step =
+      warmup_profiling && steps_run_ + 1 >= options_.profile_warmup_steps;
+  // Snapshot the layer's own settings at step entry (not at Trainer
+  // construction): a user toggle between steps must survive the warmup
+  // override's restore below.
+  const bool layer_profiling = layer_->options().profile_execution;
+  const bool layer_tracing = layer_->options().trace_execution;
+  if (warmup_profiling) {
+    layer_->set_profile_execution(true);
+    // The trace dump reads the last warmup step's report; earlier steps
+    // (and steps with no dump requested) skip the JSON serialisation.
+    if (last_warmup_step && !options_.trace_path.empty()) {
+      layer_->set_trace_execution(true);
+    }
+  }
+
   layer_->zero_grad();
   auto batch = workload_.next_batch();
   auto targets = workload_.targets_for(batch);
@@ -50,7 +83,36 @@ double Trainer::train_step() {
 
   layer_->backward(grads);
   optimizer_->step();
-  metrics_.record_step(loss, layer_->last_report());
+  const core::StepReport& report = layer_->last_report();
+  metrics_.record_step(loss, report);
+  ++steps_run_;
+
+  if (warmup_profiling) {
+    // Restore the overrides after every warmup step, not just the last —
+    // a caller may stop short of profile_warmup_steps (e.g. run() with
+    // fewer steps) and must not be left with profiling stuck on.
+    layer_->set_profile_execution(layer_profiling);
+    layer_->set_trace_execution(layer_tracing);
+  }
+  if (warmup_profiling && report.profiled) {
+    // Accumulate measured-vs-modeled per-class seconds; after the last
+    // warmup step, fit the correction factors and hand them to the layer —
+    // the searcher cache is flushed there, so the very next step re-ranks
+    // granularity and strategy with reality-corrected costs.
+    correction_fit_.add(report.forward_diff);
+    correction_fit_.add(report.backward_diff);
+    if (steps_run_ >= options_.profile_warmup_steps) {
+      corrections_ = correction_fit_.fit();
+      layer_->set_corrections(corrections_);
+      corrections_installed_ = true;
+      if (!options_.trace_path.empty()) {
+        write_json(options_.trace_path + ".fwd.json",
+                   report.forward_trace_json);
+        write_json(options_.trace_path + ".bwd.json",
+                   report.backward_trace_json);
+      }
+    }
+  }
   return loss;
 }
 

@@ -25,6 +25,18 @@ struct TrainerOptions {
   /// insufficient coverage fall back to the analytic cost model (see
   /// calibration_status()).
   bool load_calibration = true;
+  /// Online measured-vs-modeled loop: profile the wall clock of the first
+  /// N steps (per-op timestamps, see sim/profile.h), fit per-op-class
+  /// correction factors (measured / modeled seconds for compute, comm and
+  /// memcpy ops) and install them into the layer, so the granularity
+  /// search and the Eq-10 strategy selector re-rank every later step with
+  /// reality-corrected costs. 0 disables; the layer's own
+  /// profile_execution option is restored after the warmup.
+  int profile_warmup_steps = 0;
+  /// When non-empty and warmup profiling ran, the last warmup step's
+  /// measured-vs-simulated chrome traces are written to
+  /// <trace_path>.fwd.json / <trace_path>.bwd.json (chrome://tracing).
+  std::string trace_path;
 };
 
 class Trainer {
@@ -46,6 +58,14 @@ class Trainer {
     return calibration_status_;
   }
 
+  /// The per-op-class correction factors fitted from the profiled warmup
+  /// steps and installed into the layer (identity until the warmup
+  /// completes, or when profile_warmup_steps == 0).
+  const sim::OpClassCorrections& corrections() const { return corrections_; }
+
+  /// True once the warmup fit ran and the layer re-ranks with it.
+  bool corrections_installed() const { return corrections_installed_; }
+
  private:
   core::MoELayer* layer_;
   TrainerOptions options_;
@@ -53,6 +73,10 @@ class Trainer {
   std::unique_ptr<Adam> optimizer_;
   TrainingMetrics metrics_;
   sim::CalibrationStatus calibration_status_;
+  sim::CorrectionFit correction_fit_;
+  sim::OpClassCorrections corrections_;
+  bool corrections_installed_ = false;
+  int steps_run_ = 0;
 };
 
 }  // namespace mpipe::runtime

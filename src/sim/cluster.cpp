@@ -39,8 +39,9 @@ void Cluster::set_cost_config(CostModelConfig config) {
   cost_model_ = CostModel(std::move(config), topology_);
 }
 
-TimingResult Cluster::run(const OpGraph& graph, ExecutionPolicy policy) {
-  run_functional(graph, policy);
+TimingResult Cluster::run(const OpGraph& graph, ExecutionPolicy policy,
+                          ExecutionProfile* profile) {
+  run_functional(graph, policy, profile);
   return time_only(graph);
 }
 
@@ -49,20 +50,18 @@ TimingResult Cluster::time_only(const OpGraph& graph) {
   return engine.run(graph);
 }
 
-void Cluster::run_functional(const OpGraph& graph, ExecutionPolicy policy) {
+void Cluster::run_functional(const OpGraph& graph, ExecutionPolicy policy,
+                             ExecutionProfile* profile) {
   graph.validate(num_devices());
   if (policy == ExecutionPolicy::kParallel && !graph.is_timing_only()) {
     // Prove the schedule safe before overlapping it: every op pair the
     // dependency graph leaves unordered must have declared, disjoint
     // read/write sets.
     validate_hazards(graph);
-    run_graph_parallel(graph, ThreadPool::shared());
+    run_graph_parallel(graph, ThreadPool::shared(), profile);
     return;
   }
-  for (int id : graph.topo_order()) {
-    const Op& op = graph.op(id);
-    if (op.fn) op.fn();
-  }
+  run_graph_serial(graph, profile);
 }
 
 }  // namespace mpipe::sim

@@ -46,9 +46,13 @@ class Cluster {
   /// closures run concurrently on the shared ThreadPool after the hazard
   /// validator proves every unordered op pair disjoint; kSerial is the
   /// deterministic topological reference order. Both produce bitwise
-  /// identical tensor results.
+  /// identical tensor results. A non-null `profile` makes the functional
+  /// run record per-op wall-clock timestamps (sim/profile.h) so the
+  /// returned simulated schedule can be confronted with measured reality;
+  /// null (the default) records nothing and costs nothing.
   TimingResult run(const OpGraph& graph,
-                   ExecutionPolicy policy = ExecutionPolicy::kSerial);
+                   ExecutionPolicy policy = ExecutionPolicy::kSerial,
+                   ExecutionProfile* profile = nullptr);
 
   /// Timed execution only (closures not invoked) — used by the adaptive
   /// granularity search to probe candidate schedules cheaply.
@@ -56,7 +60,8 @@ class Cluster {
 
   /// Functional execution only (no timing) — used in numerics tests.
   void run_functional(const OpGraph& graph,
-                      ExecutionPolicy policy = ExecutionPolicy::kSerial);
+                      ExecutionPolicy policy = ExecutionPolicy::kSerial,
+                      ExecutionProfile* profile = nullptr);
 
  private:
   Topology topology_;

@@ -33,12 +33,16 @@ struct ExecState {
   std::atomic<bool> cancelled{false};
   std::once_flag error_once;
   std::exception_ptr error;
+  /// Profile sink; null when profiling is off. Recording is a store into
+  /// the op's own pre-sized slot, so concurrent drains never contend.
+  ExecutionProfile* profile = nullptr;
 
   explicit ExecState(int n) : pending(static_cast<std::size_t>(n)) {}
 
   /// Runs ops until every op in the graph has completed. Any thread may
-  /// drain; all of them exit once `done == total`.
-  void drain() {
+  /// drain; all of them exit once `done == total`. `worker` is the drain
+  /// loop's identity for the profile (0 = caller, 1..k = pool helpers).
+  void drain(int worker) {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       cv.wait(lock, [&] { return !ready.empty() || done == total; });
@@ -50,14 +54,22 @@ struct ExecState {
       const Op& op = graph->op(id);
       // After a failure the remaining ops are cancelled: their closures
       // are skipped but dependency counts still propagate, so the run
-      // always terminates and can rethrow the first error.
-      if (op.fn && !cancelled.load(std::memory_order_acquire)) {
-        try {
-          op.fn();
-        } catch (...) {
-          std::call_once(error_once,
-                         [this] { error = std::current_exception(); });
-          cancelled.store(true, std::memory_order_release);
+      // always terminates and can rethrow the first error. Cancelled ops
+      // are not recorded — the profile shows what actually executed.
+      if (!cancelled.load(std::memory_order_acquire)) {
+        const std::int64_t start_ns =
+            profile ? ExecutionProfile::now_ns() : 0;
+        if (op.fn) {
+          try {
+            op.fn();
+          } catch (...) {
+            std::call_once(error_once,
+                           [this] { error = std::current_exception(); });
+            cancelled.store(true, std::memory_order_release);
+          }
+        }
+        if (profile) {
+          profile->record(id, worker, start_ns, ExecutionProfile::now_ns());
         }
       }
 
@@ -102,18 +114,32 @@ bool any_overlap(const std::vector<BufferAccess>& a,
 
 }  // namespace
 
-void run_graph_parallel(const OpGraph& graph, ThreadPool& pool) {
+void run_graph_serial(const OpGraph& graph, ExecutionProfile* profile) {
+  if (profile) profile->begin(graph.size());
+  for (int id : graph.topo_order()) {
+    const Op& op = graph.op(id);
+    const std::int64_t start_ns = profile ? ExecutionProfile::now_ns() : 0;
+    if (op.fn) op.fn();
+    if (profile) {
+      profile->record(id, /*worker=*/0, start_ns,
+                      ExecutionProfile::now_ns());
+    }
+  }
+}
+
+void run_graph_parallel(const OpGraph& graph, ThreadPool& pool,
+                        ExecutionProfile* profile) {
   const int total = graph.size();
-  if (total == 0) return;
+  if (total == 0) {
+    if (profile) profile->begin(0);
+    return;
+  }
   if (pool.in_worker() || pool.size() <= 1 || total == 1) {
     // From a pool worker, queueing sub-tasks the blocked parent waits on
     // could starve the pool; with one worker (or one op) there is nothing
     // to overlap. Degrade to the reference order — bitwise identical by
     // construction.
-    for (int id : graph.topo_order()) {
-      const Op& op = graph.op(id);
-      if (op.fn) op.fn();
-    }
+    run_graph_serial(graph, profile);
     return;
   }
 
@@ -122,6 +148,10 @@ void run_graph_parallel(const OpGraph& graph, ThreadPool& pool) {
   OpGraph::DependencyView view = graph.dependency_view();
   state->succ = std::move(view.successors);
   state->total = total;
+  if (profile) {
+    profile->begin(total);
+    state->profile = profile;
+  }
   for (int id = 0; id < total; ++id) {
     state->pending[static_cast<std::size_t>(id)].store(
         view.in_degree[static_cast<std::size_t>(id)],
@@ -136,9 +166,10 @@ void run_graph_parallel(const OpGraph& graph, ThreadPool& pool) {
   const std::size_t helpers =
       std::min(pool.size(), static_cast<std::size_t>(total) - 1);
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool.post([state] { state->drain(); });
+    const int worker = static_cast<int>(h) + 1;
+    pool.post([state, worker] { state->drain(worker); });
   }
-  state->drain();
+  state->drain(/*worker=*/0);
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/thread_pool.h"
 #include "sim/op_graph.h"
+#include "sim/profile.h"
 
 namespace mpipe::sim {
 
@@ -38,7 +39,22 @@ enum class ExecutionPolicy {
 /// propagate so the executor always terminates). Called from inside a
 /// pool worker it degrades to the serial reference order — enqueueing
 /// sub-tasks the blocked parent waits on could deadlock the pool.
-void run_graph_parallel(const OpGraph& graph, ThreadPool& pool);
+///
+/// A non-null `profile` records each op's wall-clock start/end and the
+/// executing drain loop's id (0 = caller, 1..k = pool helpers) into the
+/// op's own pre-sized slot — race-free without locks because every op runs
+/// exactly once, and published to the caller by the completion join. A
+/// null profile costs one pointer test per op (the default, and the PR-4
+/// behaviour bit for bit).
+void run_graph_parallel(const OpGraph& graph, ThreadPool& pool,
+                        ExecutionProfile* profile = nullptr);
+
+/// The serial reference order (deterministic Kahn topo order), optionally
+/// profiled the same way (every op records worker 0). This is the loop
+/// Cluster::run_functional uses under ExecutionPolicy::kSerial and the
+/// degraded path run_graph_parallel falls back to.
+void run_graph_serial(const OpGraph& graph,
+                      ExecutionProfile* profile = nullptr);
 
 /// Throws CheckError naming the offending op pair when two ops that the
 /// dependency graph leaves unordered declare overlapping byte ranges with

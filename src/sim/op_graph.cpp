@@ -8,6 +8,21 @@
 
 namespace mpipe::sim {
 
+std::string to_string(OpCategory category) {
+  switch (category) {
+    case OpCategory::kGemm: return "gemm";
+    case OpCategory::kElementwise: return "elementwise";
+    case OpCategory::kAllToAll: return "alltoall";
+    case OpCategory::kP2P: return "p2p";
+    case OpCategory::kAllReduce: return "allreduce";
+    case OpCategory::kBroadcast: return "broadcast";
+    case OpCategory::kMemcpyD2H: return "memcpy_d2h";
+    case OpCategory::kMemcpyH2D: return "memcpy_h2d";
+    case OpCategory::kHostCompute: return "host";
+  }
+  return "?";
+}
+
 int OpGraph::add(Op op) {
   MPIPE_EXPECTS(!op.devices.empty(), "op must name at least one device");
   MPIPE_EXPECTS(op.base_seconds >= 0.0, "negative duration");

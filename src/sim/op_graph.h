@@ -82,6 +82,8 @@ enum class OpCategory : std::uint8_t {
   kHostCompute,  ///< gating / dispatch bookkeeping; negligible device time
 };
 
+std::string to_string(OpCategory category);
+
 struct Op {
   int id = -1;
   std::string label;

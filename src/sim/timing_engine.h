@@ -19,6 +19,9 @@ struct OpTiming {
   SimTime start = -1.0;
   SimTime end = -1.0;
   bool started() const { return start >= 0.0; }
+  /// Simulated duration (0 for ops that never started) — what the
+  /// measured-vs-modeled diff (sim/profile.h) compares per op.
+  double seconds() const { return started() ? end - start : 0.0; }
 };
 
 struct TimingResult {

@@ -734,6 +734,61 @@ TEST(GraphExecutorFuzz, RandomDagsMatchSerialBitwiseAcrossPoolSizes) {
   ThreadPool::reset_shared(0);
 }
 
+TEST(GraphExecutorFuzz, ProfiledTracesAreWellFormedAcrossPoolSizes) {
+  // Trace well-formedness under profiling: every op is recorded exactly
+  // once (its own slot, no duplicates possible — so: recorded at all),
+  // start <= end, the executing worker id names a real drain loop for the
+  // pool size, and the profiled run still matches the serial reference
+  // bitwise. Across the same shapes the bitwise fuzz uses.
+  const std::vector<ExecFuzzCase> cases = {
+      {301, 0, 1, 0},  {302, 1, 1, 0},  {303, 16, 2, 1},
+      {304, 33, 4, 3}, {305, 60, 4, 5}, {306, 45, 8, 2},
+  };
+  for (const auto& c : cases) {
+    ExecFuzzBuffers reference;
+    OpGraph serial_graph = random_exec_graph(c, reference);
+    run_graph_serial(serial_graph);
+
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool::reset_shared(threads);
+      ExecFuzzBuffers observed;
+      OpGraph g = random_exec_graph(c, observed);
+      ExecutionProfile profile;
+      run_graph_parallel(g, ThreadPool::shared(), &profile);
+
+      ASSERT_EQ(profile.size(), g.size());
+      // Drain loops: the caller (0) plus at most min(pool, ops-1) helpers.
+      const int max_worker = static_cast<int>(
+          std::min(threads, static_cast<std::size_t>(
+                                std::max(g.size() - 1, 0))));
+      for (int id = 0; id < g.size(); ++id) {
+        const OpSample& s = profile.sample(id);
+        ASSERT_TRUE(s.recorded())
+            << "seed " << c.seed << " op " << id << " never recorded";
+        EXPECT_LE(s.start_ns, s.end_ns) << "seed " << c.seed << " op " << id;
+        EXPECT_GE(s.worker, 0) << "seed " << c.seed << " op " << id;
+        EXPECT_LE(s.worker, max_worker)
+            << "seed " << c.seed << " op " << id << " threads " << threads;
+      }
+      for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+        ASSERT_EQ(reference.cells[i], observed.cells[i])
+            << "seed " << c.seed << " cell " << i << " threads " << threads;
+      }
+      // The reconstructed timeline is internally consistent too: ids
+      // echo the slot, durations non-negative, makespan covers them.
+      const MeasuredTimeline tl =
+          build_timeline(g, profile, std::max(c.devices, 1));
+      for (int id = 0; id < g.size(); ++id) {
+        const MeasuredOp& m = tl.ops[static_cast<std::size_t>(id)];
+        ASSERT_EQ(m.id, id);
+        EXPECT_GE(m.seconds(), 0.0);
+        EXPECT_LE(m.end, tl.makespan + 1e-12);
+      }
+    }
+  }
+  ThreadPool::reset_shared(0);
+}
+
 TEST(GraphExecutorFuzz, PlantedMissingWarEdgeIsRejectedLoudly) {
   // Take a validator-clean random graph and append two writers of a fresh
   // shared slot on different devices with no ordering edge between them —

@@ -11,6 +11,8 @@
 #include "common/check.h"
 
 #include <atomic>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -247,6 +249,124 @@ TEST(GraphExecutor, ClosureExceptionPropagatesAndRunTerminates) {
     EXPECT_THROW(run_graph_parallel(g, ThreadPool::shared()),
                  std::runtime_error);
     EXPECT_EQ(later_ran.load(), 0);
+  }
+  ThreadPool::reset_shared(0);
+}
+
+TEST(GraphExecutorProfile, SerialProfiledTimelineIsGapFreeAndStreamOrdered) {
+  // A profiled serial run executes ops back-to-back on one thread, so the
+  // recorded intervals must be non-overlapping in recording order, every
+  // op must land on worker 0, and each (device, stream) pair must see its
+  // ops in the FIFO order the serial reference executes.
+  CellGraph cg = build_cell_graph();
+  ExecutionProfile profile;
+  run_graph_serial(cg.graph, &profile);
+
+  ASSERT_EQ(profile.size(), cg.graph.size());
+  const std::vector<int> order = cg.graph.topo_order();
+  std::int64_t prev_end = std::numeric_limits<std::int64_t>::min();
+  for (int id : order) {
+    const OpSample& s = profile.sample(id);
+    ASSERT_TRUE(s.recorded()) << "op " << id;
+    EXPECT_EQ(s.worker, 0) << "op " << id;
+    EXPECT_LE(s.start_ns, s.end_ns) << "op " << id;
+    // Gap-free single-thread execution: the next op's start is stamped
+    // after the previous op's end.
+    EXPECT_GE(s.start_ns, prev_end) << "op " << id;
+    prev_end = s.end_ns;
+  }
+
+  const MeasuredTimeline tl = build_timeline(cg.graph, profile, 3);
+  // Per-stream ordering: within one (device, stream) the measured starts
+  // follow the FIFO enqueue order.
+  std::map<std::pair<int, int>, double> last_start;
+  for (const Op& op : cg.graph.ops()) {
+    const MeasuredOp& m = tl.ops[static_cast<std::size_t>(op.id)];
+    for (int device : op.devices) {
+      auto key = std::make_pair(device, static_cast<int>(op.stream));
+      auto it = last_start.find(key);
+      if (it != last_start.end()) {
+        EXPECT_GE(m.start, it->second)
+            << "stream FIFO order violated for op " << op.label;
+      }
+      last_start[key] = m.start;
+    }
+  }
+}
+
+TEST(GraphExecutorProfile, MeasuredDurationsAccountForTheMakespan) {
+  // With op bodies that dwarf the recording overhead (100us spins), the
+  // serial timeline's per-op durations must sum to at least the lion's
+  // share of the measured makespan, the critical path cannot exceed that
+  // sum, and per-stream occupancy stays within [0, 1].
+  auto spin = [] {
+    const std::int64_t until = ExecutionProfile::now_ns() + 100'000;
+    while (ExecutionProfile::now_ns() < until) {
+    }
+  };
+  OpGraph g;
+  float sink[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    Op op;
+    op.label = "spin" + std::to_string(i);
+    op.stream = static_cast<StreamKind>(i % kNumStreamKinds);
+    op.devices = {i % 2};
+    op.fn = [spin, &sink, i] {
+      spin();
+      sink[i] = 1.0f;
+    };
+    op.writes.push_back(access_floats(sink, i, 1));
+    g.add(std::move(op));
+  }
+  ExecutionProfile profile;
+  run_graph_serial(g, &profile);
+  const MeasuredTimeline tl = build_timeline(g, profile, 2);
+
+  double duration_sum = 0.0;
+  for (const MeasuredOp& m : tl.ops) duration_sum += m.seconds();
+  EXPECT_GT(tl.makespan, 0.0);
+  EXPECT_LE(duration_sum, tl.makespan * (1.0 + 1e-9));
+  EXPECT_GE(duration_sum, tl.makespan * 0.9)
+      << "recording gaps ate the timeline";
+  EXPECT_LE(tl.critical_path_seconds, duration_sum * (1.0 + 1e-9));
+  EXPECT_FALSE(tl.critical_path.empty());
+  double busy_sum = 0.0;
+  for (int d = 0; d < 2; ++d) {
+    for (int k = 0; k < kNumStreamKinds; ++k) {
+      const double occ = tl.stream_occupancy(d, static_cast<StreamKind>(k));
+      EXPECT_GE(occ, 0.0);
+      EXPECT_LE(occ, 1.0 + 1e-9);
+      busy_sum += tl.busy(d, static_cast<StreamKind>(k));
+    }
+  }
+  // Single-device ops: busy seconds partition the duration sum exactly.
+  EXPECT_NEAR(busy_sum, duration_sum, duration_sum * 1e-9);
+}
+
+TEST(GraphExecutorProfile, ProfilingOffKeepsOutputsAndTaskCountsIdentical) {
+  // The PR-4 contract with profiling off: bitwise identical results and
+  // exactly the same pool-task footprint as a profiled run — recording
+  // never enqueues work, and not recording never changes execution.
+  ThreadPool::reset_shared(4);
+  CellGraph reference = build_cell_graph();
+  const std::uint64_t before_plain = ThreadPool::shared().tasks_enqueued();
+  run_graph_parallel(reference.graph, ThreadPool::shared());
+  const std::uint64_t plain_tasks =
+      ThreadPool::shared().tasks_enqueued() - before_plain;
+
+  CellGraph profiled = build_cell_graph();
+  ExecutionProfile profile;
+  const std::uint64_t before_prof = ThreadPool::shared().tasks_enqueued();
+  run_graph_parallel(profiled.graph, ThreadPool::shared(), &profile);
+  const std::uint64_t prof_tasks =
+      ThreadPool::shared().tasks_enqueued() - before_prof;
+
+  EXPECT_EQ(plain_tasks, prof_tasks);
+  for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+    ASSERT_EQ(reference.cells[i], profiled.cells[i]) << "cell " << i;
+  }
+  for (int id = 0; id < profiled.graph.size(); ++id) {
+    EXPECT_TRUE(profile.sample(id).recorded()) << "op " << id;
   }
   ThreadPool::reset_shared(0);
 }
