@@ -1,9 +1,11 @@
 #include "comm/all_to_all.h"
 
 #include <cstring>
+#include <limits>
 #include <map>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace mpipe::comm {
 
@@ -23,6 +25,37 @@ void apply_segments(const std::vector<RowSegment>& segments) {
     std::memcpy(seg.dst->data() + seg.dst_row * cols,
                 seg.src->data() + seg.src_row * cols,
                 static_cast<std::size_t>(seg.rows * cols) * sizeof(float));
+  }
+}
+
+void apply_segments_guarded(const std::vector<RowSegment>& segments,
+                            const FaultInjector* injector, std::uint64_t key,
+                            std::string_view label) {
+  if (injector == nullptr) {
+    apply_segments(segments);
+    return;
+  }
+  run_comm_guarded(injector, key, [&] { apply_segments(segments); });
+  // Post-copy payload corruption: flip one destination float to NaN, as a
+  // flaky link would. The numerics guard downstream is responsible for
+  // catching it.
+  std::int64_t total = 0;
+  for (const RowSegment& seg : segments) {
+    if (seg.rows > 0) total += seg.rows * seg.dst->dim(1);
+  }
+  const std::int64_t idx = injector->corrupt_index(key, total, label);
+  if (idx < 0) return;
+  std::int64_t base = 0;
+  for (const RowSegment& seg : segments) {
+    if (seg.rows == 0) continue;
+    const std::int64_t cols = seg.dst->dim(1);
+    const std::int64_t count = seg.rows * cols;
+    if (idx < base + count) {
+      seg.dst->data()[seg.dst_row * cols + (idx - base)] =
+          std::numeric_limits<float>::quiet_NaN();
+      return;
+    }
+    base += count;
   }
 }
 
@@ -70,6 +103,8 @@ int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
              std::vector<int> deps) {
   const double seconds = alltoall_duration(group, max_bytes_sent(segments));
   auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kAllToAll;
@@ -77,7 +112,9 @@ int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = group.devices();
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [moved] { apply_segments(*moved); };
+  op.fn = [moved, injector, key, lbl = op.label] {
+    apply_segments_guarded(*moved, injector.get(), key, lbl);
+  };
   declare_segment_accesses(op, *moved);
   return graph.add(std::move(op));
 }

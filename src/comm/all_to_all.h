@@ -7,11 +7,16 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/process_group.h"
 #include "sim/op_graph.h"
 #include "tensor/tensor.h"
+
+namespace mpipe {
+class FaultInjector;
+}
 
 namespace mpipe::comm {
 
@@ -29,6 +34,17 @@ struct RowSegment {
 
 /// Executes all segments functionally and copies them byte-exactly.
 void apply_segments(const std::vector<RowSegment>& segments);
+
+/// apply_segments under the cluster's fault-injection schedule: optional
+/// straggler delay, injected TransientErrors with bounded deterministic
+/// retry (faults fire *before* any byte moves, so retries are idempotent),
+/// and optional post-copy NaN corruption of one destination float. A null
+/// injector is exactly apply_segments. `key` is the op's build-time fault
+/// key (FaultInjector::reserve_key); `label` is the op's graph label,
+/// matched against the injector's corrupt_label_filter.
+void apply_segments_guarded(const std::vector<RowSegment>& segments,
+                            const FaultInjector* injector, std::uint64_t key,
+                            std::string_view label);
 
 /// Appends the hazard declarations a segment table implies to `op`: each
 /// segment reads its source rows and writes its destination rows. Zero-row

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace mpipe::comm {
 
@@ -25,6 +26,8 @@ int allreduce_sum(sim::OpGraph& graph, const ProcessGroup& group,
                                                            group.devices())
           : 0.0;
   auto tensors = std::make_shared<std::vector<Tensor*>>(std::move(per_rank));
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kAllReduce;
@@ -32,18 +35,22 @@ int allreduce_sum(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = group.devices();
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [tensors] {
-    Tensor& acc = *(*tensors)[0];
-    const std::int64_t n = acc.numel();
-    float* pacc = acc.data();
-    for (std::size_t r = 1; r < tensors->size(); ++r) {
-      const float* p = (*tensors)[r]->data();
-      for (std::int64_t i = 0; i < n; ++i) pacc[i] += p[i];
-    }
-    for (std::size_t r = 1; r < tensors->size(); ++r) {
-      std::memcpy((*tensors)[r]->data(), pacc,
-                  static_cast<std::size_t>(n) * sizeof(float));
-    }
+  // NOTE: injected faults fire before the body runs (run_comm_guarded), so
+  // the in-place accumulate below is never retried after a partial sum.
+  op.fn = [tensors, injector, key] {
+    run_comm_guarded(injector.get(), key, [&] {
+      Tensor& acc = *(*tensors)[0];
+      const std::int64_t n = acc.numel();
+      float* pacc = acc.data();
+      for (std::size_t r = 1; r < tensors->size(); ++r) {
+        const float* p = (*tensors)[r]->data();
+        for (std::int64_t i = 0; i < n; ++i) pacc[i] += p[i];
+      }
+      for (std::size_t r = 1; r < tensors->size(); ++r) {
+        std::memcpy((*tensors)[r]->data(), pacc,
+                    static_cast<std::size_t>(n) * sizeof(float));
+      }
+    });
   };
   for (const Tensor* t : *tensors) {
     op.reads.push_back(sim::access_whole(*t));
@@ -72,6 +79,8 @@ int broadcast(sim::OpGraph& graph, const ProcessGroup& group, int root_rank,
           : 0.0;
   auto tensors = std::make_shared<std::vector<Tensor*>>(std::move(per_rank));
   const std::size_t root = static_cast<std::size_t>(root_rank);
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kBroadcast;
@@ -79,13 +88,15 @@ int broadcast(sim::OpGraph& graph, const ProcessGroup& group, int root_rank,
   op.devices = group.devices();
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [tensors, root] {
-    const Tensor& src = *(*tensors)[root];
-    for (std::size_t r = 0; r < tensors->size(); ++r) {
-      if (r == root) continue;
-      std::memcpy((*tensors)[r]->data(), src.data(),
-                  static_cast<std::size_t>(src.nbytes()));
-    }
+  op.fn = [tensors, root, injector, key] {
+    run_comm_guarded(injector.get(), key, [&] {
+      const Tensor& src = *(*tensors)[root];
+      for (std::size_t r = 0; r < tensors->size(); ++r) {
+        if (r == root) continue;
+        std::memcpy((*tensors)[r]->data(), src.data(),
+                    static_cast<std::size_t>(src.nbytes()));
+      }
+    });
   };
   for (std::size_t r = 0; r < tensors->size(); ++r) {
     if (r == root) {
@@ -124,6 +135,8 @@ int allgather_rows(sim::OpGraph& graph, const ProcessGroup& group,
                        : 0.0;
   auto in = std::make_shared<std::vector<const Tensor*>>(std::move(inputs));
   auto out = std::make_shared<std::vector<Tensor*>>(std::move(outputs));
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kAllToAll;
@@ -131,14 +144,16 @@ int allgather_rows(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = group.devices();
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [in, out] {
-    for (Tensor* dst : *out) {
-      std::int64_t row = 0;
-      for (const Tensor* src : *in) {
-        dst->copy_into_rows(row, *src);
-        row += src->dim(0);
+  op.fn = [in, out, injector, key] {
+    run_comm_guarded(injector.get(), key, [&] {
+      for (Tensor* dst : *out) {
+        std::int64_t row = 0;
+        for (const Tensor* src : *in) {
+          dst->copy_into_rows(row, *src);
+          row += src->dim(0);
+        }
       }
-    }
+    });
   };
   for (const Tensor* t : *in) op.reads.push_back(sim::access_whole(*t));
   for (const Tensor* t : *out) op.writes.push_back(sim::access_whole(*t));

@@ -1,6 +1,7 @@
 #include "comm/p2p.h"
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace mpipe::comm {
 
@@ -27,6 +28,8 @@ int send_recv(sim::OpGraph& graph, const ProcessGroup& group,
     devices = {segment.dst_device};
   }
   auto moved = std::make_shared<RowSegment>(segment);
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kP2P;
@@ -34,7 +37,9 @@ int send_recv(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = std::move(devices);
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [moved] { apply_segments({*moved}); };
+  op.fn = [moved, injector, key, lbl = op.label] {
+    apply_segments_guarded({*moved}, injector.get(), key, lbl);
+  };
   declare_segment_accesses(op, {*moved});
   return graph.add(std::move(op));
 }
@@ -63,6 +68,8 @@ int send_recv_multi(sim::OpGraph& graph, const ProcessGroup& group,
     devices = {dst};
   }
   auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
+  auto injector = group.cluster().fault_injector_shared();
+  const std::uint64_t key = injector ? injector->reserve_key() : 0;
   sim::Op op;
   op.label = std::move(label);
   op.category = sim::OpCategory::kP2P;
@@ -70,7 +77,9 @@ int send_recv_multi(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = std::move(devices);
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [moved] { apply_segments(*moved); };
+  op.fn = [moved, injector, key, lbl = op.label] {
+    apply_segments_guarded(*moved, injector.get(), key, lbl);
+  };
   declare_segment_accesses(op, *moved);
   return graph.add(std::move(op));
 }

@@ -12,10 +12,28 @@
 
 namespace mpipe {
 
-/// Error thrown by all MPIPE_CHECK-family macros.
+/// Error thrown by all MPIPE_CHECK-family macros. A CheckError is *fatal*:
+/// it reports a violated precondition, postcondition, or invariant — a
+/// programming error — and must never be retried or swallowed by recovery
+/// machinery.
 class CheckError : public std::runtime_error {
  public:
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A *recoverable* failure of an operation whose retry is safe and
+/// meaningful: a dropped comm transfer, a transient transport hiccup, an
+/// injected fault. Deliberately NOT derived from CheckError so that
+/// `catch (TransientError&)` in retry loops can never mask an invariant
+/// violation — the two hierarchies are disjoint by construction. Today the
+/// only producers are the fault injector (common/fault_injection.h) and,
+/// later, real transports; every throw site in comm/ and mem/ that guards
+/// a precondition or hazard stays on the fatal CheckError/OutOfMemoryError
+/// side.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 namespace detail {

@@ -1,0 +1,156 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+namespace {
+
+// Site tags keep the decision streams of different fault kinds
+// independent even when they share a key.
+constexpr std::uint64_t kSiteComm = 0x636f6d6d00000001ull;
+constexpr std::uint64_t kSiteStraggler = 0x736c6f7700000002ull;
+constexpr std::uint64_t kSiteAlloc = 0x616c6c6f00000003ull;
+constexpr std::uint64_t kSiteCorrupt = 0x6e616e6300000004ull;
+constexpr std::uint64_t kSiteCorruptIdx = 0x6e616e6900000005ull;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t site, std::uint64_t key,
+                  std::uint64_t attempt) {
+  std::uint64_t h = splitmix64(seed ^ site);
+  h = splitmix64(h ^ key);
+  h = splitmix64(h ^ attempt);
+  return h;
+}
+
+double to_unit(std::uint64_t h) {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+double RetryPolicy::delay_seconds(int attempt) const {
+  double d = backoff_seconds;
+  for (int i = 1; i < attempt; ++i) d *= backoff_multiplier;
+  return d;
+}
+
+FaultInjector::FaultInjector(FaultInjectionConfig config)
+    : config_(config) {
+  MPIPE_EXPECTS(config.retry.max_attempts >= 1,
+                "retry policy needs at least one attempt");
+}
+
+double FaultInjector::uniform(std::uint64_t site, std::uint64_t key,
+                              std::uint64_t attempt) const {
+  return to_unit(mix(config_.seed, site, key, attempt));
+}
+
+bool FaultInjector::fire(double prob, int budget,
+                         std::atomic<std::uint64_t>& fired, double u) const {
+  if (prob <= 0.0 || u >= prob || budget == 0) return false;
+  // CAS loop so `fired` counts exactly the faults that actually fired,
+  // even when several ops race on the last budget unit.
+  std::uint64_t n = fired.load();
+  for (;;) {
+    if (budget > 0 && n >= static_cast<std::uint64_t>(budget)) return false;
+    if (fired.compare_exchange_weak(n, n + 1)) return true;
+  }
+}
+
+bool FaultInjector::should_fail_comm(std::uint64_t key, int attempt) const {
+  return fire(config_.comm_failure_prob, config_.max_comm_failures,
+              stats_.comm_failures,
+              uniform(kSiteComm, key, static_cast<std::uint64_t>(attempt)));
+}
+
+double FaultInjector::straggler_delay(std::uint64_t key) const {
+  if (!fire(config_.straggler_prob, config_.max_stragglers,
+            stats_.stragglers, uniform(kSiteStraggler, key, 0))) {
+    return 0.0;
+  }
+  return config_.straggler_delay_seconds;
+}
+
+bool FaultInjector::should_fail_alloc(std::uint64_t key) const {
+  return fire(config_.alloc_failure_prob, config_.max_alloc_failures,
+              stats_.alloc_failures, uniform(kSiteAlloc, key, 0));
+}
+
+std::int64_t FaultInjector::corrupt_index(std::uint64_t key,
+                                          std::int64_t numel,
+                                          std::string_view label) const {
+  if (numel <= 0) return -1;
+  const std::string& filter = config_.corrupt_label_filter;
+  if (!filter.empty() && label.substr(0, filter.size()) != filter) return -1;
+  if (!fire(config_.corrupt_payload_prob, config_.max_corruptions,
+            stats_.corruptions, uniform(kSiteCorrupt, key, 0))) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(mix(config_.seed, kSiteCorruptIdx, key, 0) %
+                                   static_cast<std::uint64_t>(numel));
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats out;
+  out.comm_failures = stats_.comm_failures.load();
+  out.comm_retries = stats_.comm_retries.load();
+  out.comm_gave_up = stats_.comm_gave_up.load();
+  out.stragglers = stats_.stragglers.load();
+  out.alloc_failures = stats_.alloc_failures.load();
+  out.corruptions = stats_.corruptions.load();
+  return out;
+}
+
+void run_comm_guarded(const FaultInjector* injector, std::uint64_t key,
+                      const std::function<void()>& body) {
+  if (injector == nullptr) {
+    body();
+    return;
+  }
+  sleep_seconds(injector->straggler_delay(key));
+  const RetryPolicy& retry = injector->config().retry;
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      injector->count_retry();
+      sleep_seconds(retry.delay_seconds(attempt));
+    }
+    try {
+      if (injector->should_fail_comm(key, attempt)) {
+        std::ostringstream os;
+        os << "injected transient comm fault (key " << key << ", attempt "
+           << attempt << ")";
+        throw TransientError(os.str());
+      }
+      body();
+      return;
+    } catch (const TransientError&) {
+      // Recoverable by definition — retry unless the budget is spent.
+      // CheckError / OutOfMemoryError are NOT caught here: invariant
+      // violations and real resource exhaustion propagate immediately.
+      if (attempt + 1 >= retry.max_attempts) {
+        injector->count_gave_up();
+        throw;
+      }
+    }
+  }
+}
+
+}  // namespace mpipe

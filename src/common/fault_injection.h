@@ -1,0 +1,159 @@
+#pragma once
+/// \file fault_injection.h
+/// Deterministic, seed-driven fault injection for the training runtime.
+///
+/// Every injection decision is a pure function of (seed, site, key,
+/// attempt): a splitmix64-style hash mapped to [0, 1) and compared against
+/// the site's probability. Keys are assigned by a sequence counter at
+/// *graph-build* time — single-threaded and deterministic — so the same
+/// seed replays the same fault schedule no matter how the parallel
+/// executor interleaves op execution. Budgets (`max_*`) cap how many
+/// faults of a site may fire across the injector's lifetime; budget
+/// claims use atomic CAS so the stats counters are exact.
+///
+/// Sites:
+///  - comm failure: a guarded comm op throws TransientError *before*
+///    copying any bytes (state stays consistent; retries are idempotent).
+///  - straggler: a comm op sleeps a configured wall-clock delay before
+///    running — visible to the PR-5 profiler, invisible to the math.
+///  - alloc failure: DeviceAllocator::allocate throws OutOfMemoryError.
+///  - payload corruption: after a segment copy, one destination float is
+///    overwritten with NaN (the numerics guard's prey).
+///
+/// With no injector installed (the default), every hook is a single null
+/// check — fault-free training stays bitwise identical and bench-neutral.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace mpipe {
+
+/// Bounded retry with deterministic exponential backoff. Attempt k
+/// (1-based) sleeps backoff_seconds * multiplier^(k-1) before re-running.
+/// The delays are wall-clock only — they never enter the simulated
+/// timeline or the math.
+struct RetryPolicy {
+  int max_attempts = 4;            ///< total tries, including the first
+  double backoff_seconds = 20e-6;  ///< base backoff before attempt 2
+  double backoff_multiplier = 2.0;
+
+  /// Backoff before retry `attempt` (attempt >= 1 = first retry).
+  double delay_seconds(int attempt) const;
+};
+
+/// All knobs default to "off" (probability 0); an all-default config makes
+/// the injector a no-op. Budgets: < 0 means unlimited, 0 disables the
+/// site, > 0 caps the number of fired faults.
+struct FaultInjectionConfig {
+  std::uint64_t seed = 1;
+
+  double comm_failure_prob = 0.0;  ///< per (key, attempt) throw chance
+  int max_comm_failures = -1;
+
+  double straggler_prob = 0.0;  ///< per-key delay chance
+  double straggler_delay_seconds = 2e-3;
+  int max_stragglers = -1;
+
+  double alloc_failure_prob = 0.0;  ///< per-allocation OOM chance
+  int max_alloc_failures = -1;
+
+  double corrupt_payload_prob = 0.0;  ///< per-key NaN-corruption chance
+  int max_corruptions = -1;
+  /// Only ops whose label starts with this prefix are corruption-eligible
+  /// (empty = any guarded segment op). Corruption injected *below* a ReLU
+  /// is silently flushed to zero by the max — undetectable by any
+  /// finiteness scan — so deterministic recovery tests aim the NaN at a
+  /// combine destination ("R"), which feeds the loss directly.
+  std::string corrupt_label_filter;
+
+  RetryPolicy retry;
+};
+
+/// Snapshot of everything the injector has done so far.
+struct FaultStats {
+  std::uint64_t comm_failures = 0;  ///< TransientErrors thrown
+  std::uint64_t comm_retries = 0;   ///< retry attempts consumed
+  std::uint64_t comm_gave_up = 0;   ///< retry budgets exhausted
+  std::uint64_t stragglers = 0;     ///< delays injected
+  std::uint64_t alloc_failures = 0;
+  std::uint64_t corruptions = 0;    ///< floats NaN-corrupted
+
+  std::uint64_t total_faults() const {
+    return comm_failures + stragglers + alloc_failures + corruptions;
+  }
+};
+
+/// Thread-safe; decisions are replayable from (seed, key). Owned by the
+/// Cluster (shared_ptr) so op closures built against one injector stay
+/// valid even if the cluster later swaps configurations.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectionConfig config);
+
+  const FaultInjectionConfig& config() const { return config_; }
+
+  /// Build-time sequence counter: every guarded comm op reserves one key
+  /// when its closure is built. Graph construction is single-threaded, so
+  /// key assignment — and therefore the whole fault schedule — is
+  /// deterministic even though execution is not.
+  std::uint64_t reserve_key() const { return next_key_.fetch_add(1); }
+
+  /// True when the comm op with `key` should throw on try `attempt`
+  /// (0-based). Claims one unit of the comm-failure budget.
+  bool should_fail_comm(std::uint64_t key, int attempt) const;
+
+  /// Injected straggler delay for `key` in wall-clock seconds (0 = none).
+  /// Claims one unit of the straggler budget when nonzero.
+  double straggler_delay(std::uint64_t key) const;
+
+  /// True when the allocation with sequence id `key` should fail.
+  bool should_fail_alloc(std::uint64_t key) const;
+
+  /// Element index (into a flat payload of `numel` floats) to overwrite
+  /// with NaN, or -1 for no corruption. Claims one corruption-budget unit.
+  /// `label` is the op's graph label, matched against
+  /// config().corrupt_label_filter for eligibility.
+  std::int64_t corrupt_index(std::uint64_t key, std::int64_t numel,
+                             std::string_view label) const;
+
+  void count_retry() const { stats_.comm_retries.fetch_add(1); }
+  void count_gave_up() const { stats_.comm_gave_up.fetch_add(1); }
+
+  FaultStats stats() const;
+
+ private:
+  /// Uniform [0, 1) from the decision coordinates.
+  double uniform(std::uint64_t site, std::uint64_t key,
+                 std::uint64_t attempt) const;
+  /// Decision + budget claim shared by all sites.
+  bool fire(double prob, int budget, std::atomic<std::uint64_t>& fired,
+            double u) const;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> comm_failures{0};
+    std::atomic<std::uint64_t> comm_retries{0};
+    std::atomic<std::uint64_t> comm_gave_up{0};
+    std::atomic<std::uint64_t> stragglers{0};
+    std::atomic<std::uint64_t> alloc_failures{0};
+    std::atomic<std::uint64_t> corruptions{0};
+  };
+
+  FaultInjectionConfig config_;
+  mutable std::atomic<std::uint64_t> next_key_{0};
+  mutable AtomicStats stats_;
+};
+
+/// Runs `body` under the injector's comm fault schedule: optional
+/// straggler delay, then up to retry.max_attempts tries where each try may
+/// be failed by the injector *before* `body` runs. Retries sleep the
+/// deterministic backoff. `injector` may be null — then `body` runs once,
+/// unguarded. Throws TransientError when the retry budget is exhausted;
+/// anything `body` itself throws (CheckError, OutOfMemoryError, ...)
+/// propagates immediately and is never retried.
+void run_comm_guarded(const FaultInjector* injector, std::uint64_t key,
+                      const std::function<void()>& body);
+
+}  // namespace mpipe

@@ -37,6 +37,8 @@ class Rng {
   Rng fork();
 
   std::mt19937_64& engine() { return engine_; }
+  /// Const access for state serialization (operator<< on the engine).
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -85,6 +85,20 @@ int GranularitySearcher::search_best(std::int64_t b) {
   return best_n;
 }
 
+GranularitySearcher::State GranularitySearcher::export_state() const {
+  State state;
+  state.cache.assign(cache_.begin(), cache_.end());
+  std::sort(state.cache.begin(), state.cache.end());
+  state.ranges = ranges_.entries();
+  return state;
+}
+
+void GranularitySearcher::import_state(const State& state) {
+  cache_.clear();
+  cache_.insert(state.cache.begin(), state.cache.end());
+  ranges_.restore(state.ranges);
+}
+
 void GranularitySearcher::invalidate() {
   cache_.clear();
   ranges_ = RangeSet{};

@@ -46,6 +46,19 @@ class GranularitySearcher {
   const SearchStats& stats() const { return stats_; }
   const RangeSet& ranges() const { return ranges_; }
 
+  /// Cache + range state for checkpoint/restore. Algorithm 1's verdicts
+  /// are history-dependent (a range hit can return a different n than a
+  /// fresh full search would), and the partition count changes the step
+  /// math bitwise — so a bitwise-identical resume must restore the
+  /// searcher's memory, not just invalidate it. The cache is exported
+  /// key-ascending so the serialized form is deterministic.
+  struct State {
+    std::vector<std::pair<std::int64_t, int>> cache;
+    std::vector<BatchRange> ranges;
+  };
+  State export_state() const;
+  void import_state(const State& state);
+
   /// Exhaustive argmin over candidates (searchBestGran) — exposed for the
   /// Fig-12 ablation comparing adaptive vs oracle.
   int search_best(std::int64_t b);

@@ -77,6 +77,13 @@ MoELayer::MoELayer(sim::Cluster& cluster, MoELayerOptions options)
     model_state_allocs_.push_back(allocators_.back().allocate(
         mem::Category::kModelState, model_state_bytes(options_, epd)));
   }
+  // Fault-injection wiring happens after the model-state allocations:
+  // injected OOM targets step-time buffer acquisition (the recoverable
+  // case), not layer construction, and step allocations then consume the
+  // injector's key sequence from 0 — deterministic across runs.
+  if (auto injector = cluster.fault_injector_shared()) {
+    for (auto& a : allocators_) a.set_fault_injector(injector);
+  }
 
   if (options_.mode == ExecutionMode::kFull) {
     Rng master(options_.seed);
@@ -385,6 +392,12 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
   const int n = configure_partitions(B);
   const ReuseStrategy strategy = configure_strategy(B, n);
 
+  // Everything from here on allocates step state (ctx_ buffers, staging
+  // slots) and runs the graph; a failure part-way — injected OOM, a comm
+  // TransientError that exhausted its retries — must not leave that state
+  // resident, or every subsequent step inherits the leak. The catch
+  // releases it and rethrows, leaving the layer ready for a retried step.
+  try {
   ctx_.emplace();
   ctx_->mode = ExecutionMode::kFull;
   ctx_->strategy = strategy;
@@ -420,6 +433,10 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
         sim::build_timeline(graph, profile, num_devices());
     report_.forward_diff = sim::diff_schedules(
         graph, report_.forward_timing, report_.forward_measured);
+    if (options_.straggler_threshold > 0.0) {
+      report_.stragglers = sim::detect_stragglers(
+          graph, report_.forward_diff, options_.straggler_threshold);
+    }
     if (options_.trace_execution) {
       report_.forward_trace_json = sim::to_chrome_trace(
           graph, report_.forward_timing, report_.forward_measured);
@@ -432,6 +449,11 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
     outputs.push_back(ctx_->dev[static_cast<std::size_t>(d)].out);
   }
   return outputs;
+  } catch (...) {
+    ctx_.reset();
+    staging_.clear();
+    throw;
+  }
 }
 
 std::vector<Tensor> MoELayer::backward(
@@ -446,6 +468,9 @@ std::vector<Tensor> MoELayer::backward(
                   "gradient shape mismatch");
     st.dy = grad_outputs[static_cast<std::size_t>(d)];
   }
+  // Same failure contract as forward(): a part-way failure releases all
+  // step state before rethrowing so a retried step starts clean.
+  try {
   setup_backward_buffers(*ctx_);
 
   sim::OpGraph graph = builder_.build_backward(*ctx_, refs());
@@ -460,6 +485,12 @@ std::vector<Tensor> MoELayer::backward(
         sim::build_timeline(graph, profile, num_devices());
     report_.backward_diff = sim::diff_schedules(
         graph, report_.backward_timing, report_.backward_measured);
+    if (options_.straggler_threshold > 0.0) {
+      auto flags = sim::detect_stragglers(graph, report_.backward_diff,
+                                          options_.straggler_threshold);
+      report_.stragglers.insert(report_.stragglers.end(), flags.begin(),
+                                flags.end());
+    }
     if (options_.trace_execution) {
       report_.backward_trace_json = sim::to_chrome_trace(
           graph, report_.backward_timing, report_.backward_measured);
@@ -480,6 +511,11 @@ std::vector<Tensor> MoELayer::backward(
   ctx_.reset();  // releases activations and temp buffers
   staging_.clear();
   return grads;
+  } catch (...) {
+    ctx_.reset();
+    staging_.clear();
+    throw;
+  }
 }
 
 StepReport MoELayer::step_timing(std::int64_t tokens_per_device,

@@ -81,6 +81,13 @@ struct MoELayerOptions {
   /// would build strings nobody reads. No effect when profiling is off.
   bool trace_execution = false;
 
+  /// Straggler watchdog: after a profiled step, flag any op whose measured
+  /// wall-clock duration exceeds this multiple of its normalized modeled
+  /// duration (sim::detect_stragglers) into StepReport::stragglers.
+  /// <= 0 (default) disables the watchdog; it only observes profiled steps
+  /// (profile_execution), and never alters execution or results.
+  double straggler_threshold = 0.0;
+
   ExecutionMode mode = ExecutionMode::kFull;
   std::uint64_t seed = 42;
 };

@@ -59,6 +59,11 @@ struct StepReport {
   std::string forward_trace_json;
   std::string backward_trace_json;
 
+  /// Ops the watchdog flagged as stragglers (fwd + bwd), filled when the
+  /// step was profiled and MoELayerOptions::straggler_threshold > 0. See
+  /// sim::detect_stragglers for the normalization.
+  std::vector<sim::StragglerFlag> stragglers;
+
   /// Simulated step time (the TimingEngine's makespans) — the "modeled"
   /// number of the measured-vs-modeled pair.
   double step_seconds() const { return forward_seconds + backward_seconds; }

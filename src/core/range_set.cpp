@@ -54,6 +54,24 @@ void RangeSet::record(std::int64_t b, int n) {
   by_lower_.emplace(b, BatchRange{b, b, n});
 }
 
+std::vector<BatchRange> RangeSet::entries() const {
+  std::vector<BatchRange> out;
+  out.reserve(by_lower_.size());
+  for (const auto& [lower, range] : by_lower_) out.push_back(range);
+  return out;
+}
+
+void RangeSet::restore(const std::vector<BatchRange>& ranges) {
+  by_lower_.clear();
+  for (const BatchRange& r : ranges) {
+    // record() of both endpoints recreates [lower, upper] exactly (a
+    // second record extends the point range), re-running the overlap and
+    // monotonicity checks against the ranges restored so far.
+    record(r.lower, r.n);
+    if (r.upper != r.lower) record(r.upper, r.n);
+  }
+}
+
 std::string RangeSet::to_string() const {
   std::ostringstream os;
   for (const auto& [lower, range] : by_lower_) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace mpipe::core {
 
@@ -35,6 +36,13 @@ class RangeSet {
 
   std::size_t size() const { return by_lower_.size(); }
   std::string to_string() const;
+
+  /// All ranges, lower-bound ascending — for checkpoint serialization.
+  std::vector<BatchRange> entries() const;
+
+  /// Replaces the set with `ranges` (must be disjoint; routed through
+  /// record() so the invariants are re-validated on restore).
+  void restore(const std::vector<BatchRange>& ranges);
 
  private:
   // Keyed by range lower bound; ranges kept disjoint and sorted.

@@ -10,9 +10,19 @@ BufferPool::BufferPool(DeviceAllocator& allocator, std::string name,
     : name_(std::move(name)), slot_shape_(slot_shape), depth_(depth) {
   MPIPE_EXPECTS(depth >= 1, "pool depth must be >= 1");
   slots_.reserve(static_cast<std::size_t>(depth));
-  for (int i = 0; i < depth; ++i) {
-    slots_.push_back(allocator.alloc_tensor(slot_shape, category,
-                                            materialize));
+  try {
+    for (int i = 0; i < depth; ++i) {
+      slots_.push_back(allocator.alloc_tensor(slot_shape, category,
+                                              materialize));
+    }
+  } catch (...) {
+    // Mid-acquisition failure (real or injected OOM): release the
+    // partially-acquired slots before the error escapes, so the tracker
+    // balance returns to its pre-construction value. The slot vector's
+    // Allocation handles would unwind anyway; clearing here makes the
+    // guarantee explicit and independent of member-destruction order.
+    slots_.clear();
+    throw;
   }
 }
 

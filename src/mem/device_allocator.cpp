@@ -67,6 +67,11 @@ DeviceAllocator::DeviceAllocator(int device_id, std::uint64_t capacity_bytes)
 }
 
 Allocation DeviceAllocator::allocate(Category category, std::uint64_t bytes) {
+  if (fault_injector_ != nullptr &&
+      fault_injector_->should_fail_alloc(alloc_seq_++)) {
+    throw OutOfMemoryError(device_id_, bytes, tracker_.current_total(),
+                           capacity_);
+  }
   if (capacity_ != 0 && tracker_.current_total() + bytes > capacity_) {
     throw OutOfMemoryError(device_id_, bytes, tracker_.current_total(),
                            capacity_);

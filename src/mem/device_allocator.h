@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/fault_injection.h"
 #include "mem/memory_tracker.h"
 #include "tensor/tensor.h"
 
@@ -77,6 +78,15 @@ class DeviceAllocator {
   MemoryTracker& tracker() { return tracker_; }
   const MemoryTracker& tracker() const { return tracker_; }
 
+  /// Wires the cluster's fault injector in: allocations then fail with
+  /// OutOfMemoryError according to the injector's alloc-failure schedule
+  /// (keyed by a per-allocator sequence number). Null detaches. OOM —
+  /// injected or real — is fatal to the step, never retried; recovery
+  /// happens at the trainer's checkpoint/rollback level.
+  void set_fault_injector(std::shared_ptr<const FaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+  }
+
  private:
   friend class Allocation;
   void on_release(Category category, std::uint64_t bytes);
@@ -84,6 +94,10 @@ class DeviceAllocator {
   int device_id_;
   std::uint64_t capacity_;
   MemoryTracker tracker_;
+  std::shared_ptr<const FaultInjector> fault_injector_;
+  // Allocation sequence id feeding the injector's hash; allocations happen
+  // on the (single) graph-build thread, so a plain counter suffices.
+  std::uint64_t alloc_seq_ = 0;
 };
 
 /// Thrown when an allocation would exceed the device capacity.

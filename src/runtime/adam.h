@@ -41,6 +41,16 @@ class Adam {
   /// Total optimizer-state bytes (momentum + variance).
   std::uint64_t state_bytes() const;
 
+  /// Optimizer-state access for checkpoint/restore. The vectors are
+  /// index-aligned with the bound parameters; restore must preserve both
+  /// the tensors and the bias-correction step count or resumed updates
+  /// diverge.
+  const std::vector<Tensor>& momentum() const { return momentum_; }
+  const std::vector<Tensor>& variance() const { return variance_; }
+  std::vector<Tensor>& momentum() { return momentum_; }
+  std::vector<Tensor>& variance() { return variance_; }
+  void set_step_count(std::int64_t t) { t_ = t; }
+
  private:
   std::vector<Tensor*> params_;
   std::vector<Tensor*> grads_;

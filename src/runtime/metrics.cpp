@@ -19,6 +19,13 @@ void TrainingMetrics::record_step(double loss,
   peak_memory_ = std::max(peak_memory_, report.memory.total_peak);
 }
 
+void TrainingMetrics::truncate_steps(std::size_t n) {
+  MPIPE_EXPECTS(n <= losses_.size(), "truncating past the recorded steps");
+  losses_.resize(n);
+  step_seconds_.resize(n);
+  utilizations_.resize(n);
+}
+
 double TrainingMetrics::mean_measured_step_seconds() const {
   MPIPE_EXPECTS(!measured_step_seconds_.empty(), "no profiled steps");
   double acc = 0.0;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "runtime/checkpoint.h"
 #include "tensor/ops.h"
 
 namespace mpipe::runtime {
@@ -44,11 +47,28 @@ Trainer::Trainer(core::MoELayer& layer, TrainerOptions options)
   }
   MPIPE_EXPECTS(options_.profile_warmup_steps >= 0,
                 "negative warmup step count");
+  const auto& ft = options_.fault_tolerance;
+  MPIPE_EXPECTS(ft.checkpoint_interval >= 0, "negative checkpoint interval");
+  MPIPE_EXPECTS(ft.rollback_after >= 1, "rollback_after must be >= 1");
+  MPIPE_EXPECTS(ft.max_rollbacks >= 0, "negative rollback budget");
+  MPIPE_EXPECTS(ft.max_step_retries >= 0, "negative step retry budget");
   optimizer_ = std::make_unique<Adam>(layer.parameters(), layer.gradients(),
                                       options_.adam);
 }
 
 double Trainer::train_step() {
+  // The plain path: no ladder knobs, no injector on the cluster — run the
+  // step body exactly as before this layer existed.
+  if (!options_.fault_tolerance.enabled() &&
+      layer_->cluster().fault_injector() == nullptr) {
+    bool non_finite = false;
+    return train_step_impl(/*guard=*/false, non_finite);
+  }
+  return train_step_fault_tolerant();
+}
+
+double Trainer::train_step_impl(bool guard, bool& non_finite) {
+  non_finite = false;
   const bool warmup_profiling =
       steps_run_ < options_.profile_warmup_steps && !corrections_installed_;
   const bool last_warmup_step =
@@ -67,53 +87,233 @@ double Trainer::train_step() {
     }
   }
 
-  layer_->zero_grad();
-  auto batch = workload_.next_batch();
-  auto targets = workload_.targets_for(batch);
-  auto outputs = layer_->forward(batch);
+  try {
+    layer_->zero_grad();
+    auto batch = workload_.next_batch();
+    auto targets = workload_.targets_for(batch);
+    auto outputs = layer_->forward(batch);
 
-  double loss = 0.0;
-  std::vector<Tensor> grads;
-  grads.reserve(outputs.size());
-  for (std::size_t d = 0; d < outputs.size(); ++d) {
-    loss += mse_loss(outputs[d], targets[d]);
-    grads.push_back(mse_loss_grad(outputs[d], targets[d]));
-  }
-  loss /= static_cast<double>(outputs.size());
+    double loss = 0.0;
+    std::vector<Tensor> grads;
+    grads.reserve(outputs.size());
+    for (std::size_t d = 0; d < outputs.size(); ++d) {
+      loss += mse_loss(outputs[d], targets[d]);
+      grads.push_back(mse_loss_grad(outputs[d], targets[d]));
+    }
+    loss /= static_cast<double>(outputs.size());
 
-  layer_->backward(grads);
-  optimizer_->step();
-  const core::StepReport& report = layer_->last_report();
-  metrics_.record_step(loss, report);
-  ++steps_run_;
+    if (guard && !std::isfinite(loss)) {
+      // Rung 1: poisoned forward. The step is abandoned before backward —
+      // no optimizer state, metrics, or step count moved.
+      non_finite = true;
+      if (warmup_profiling) {
+        layer_->set_profile_execution(layer_profiling);
+        layer_->set_trace_execution(layer_tracing);
+      }
+      return loss;
+    }
 
-  if (warmup_profiling) {
-    // Restore the overrides after every warmup step, not just the last —
-    // a caller may stop short of profile_warmup_steps (e.g. run() with
-    // fewer steps) and must not be left with profiling stuck on.
-    layer_->set_profile_execution(layer_profiling);
-    layer_->set_trace_execution(layer_tracing);
-  }
-  if (warmup_profiling && report.profiled) {
-    // Accumulate measured-vs-modeled per-class seconds; after the last
-    // warmup step, fit the correction factors and hand them to the layer —
-    // the searcher cache is flushed there, so the very next step re-ranks
-    // granularity and strategy with reality-corrected costs.
-    correction_fit_.add(report.forward_diff);
-    correction_fit_.add(report.backward_diff);
-    if (steps_run_ >= options_.profile_warmup_steps) {
-      corrections_ = correction_fit_.fit();
-      layer_->set_corrections(corrections_);
-      corrections_installed_ = true;
-      if (!options_.trace_path.empty()) {
-        write_json(options_.trace_path + ".fwd.json",
-                   report.forward_trace_json);
-        write_json(options_.trace_path + ".bwd.json",
-                   report.backward_trace_json);
+    layer_->backward(grads);
+
+    if (guard) {
+      for (Tensor* g : layer_->gradients()) {
+        if (!all_finite(*g)) {
+          non_finite = true;
+          break;
+        }
+      }
+      if (non_finite) {
+        if (warmup_profiling) {
+          layer_->set_profile_execution(layer_profiling);
+          layer_->set_trace_execution(layer_tracing);
+        }
+        return loss;
       }
     }
+
+    optimizer_->step();
+    const core::StepReport& report = layer_->last_report();
+    metrics_.record_step(loss, report);
+    metrics_.recovery().straggler_flags += report.stragglers.size();
+    ++steps_run_;
+
+    if (warmup_profiling) {
+      // Restore the overrides after every warmup step, not just the last —
+      // a caller may stop short of profile_warmup_steps (e.g. run() with
+      // fewer steps) and must not be left with profiling stuck on.
+      layer_->set_profile_execution(layer_profiling);
+      layer_->set_trace_execution(layer_tracing);
+    }
+    if (warmup_profiling && report.profiled) {
+      // Accumulate measured-vs-modeled per-class seconds; after the last
+      // warmup step, fit the correction factors and hand them to the layer —
+      // the searcher cache is flushed there, so the very next step re-ranks
+      // granularity and strategy with reality-corrected costs.
+      correction_fit_.add(report.forward_diff);
+      correction_fit_.add(report.backward_diff);
+      if (steps_run_ >= options_.profile_warmup_steps) {
+        corrections_ = correction_fit_.fit();
+        layer_->set_corrections(corrections_);
+        corrections_installed_ = true;
+        if (!options_.trace_path.empty()) {
+          write_json(options_.trace_path + ".fwd.json",
+                     report.forward_trace_json);
+          write_json(options_.trace_path + ".bwd.json",
+                     report.backward_trace_json);
+        }
+      }
+    }
+    return loss;
+  } catch (...) {
+    // A throwing step (injected comm fault, OOM) must not leave warmup
+    // profiling stuck on for the replay.
+    if (warmup_profiling) {
+      layer_->set_profile_execution(layer_profiling);
+      layer_->set_trace_execution(layer_tracing);
+    }
+    throw;
   }
-  return loss;
+}
+
+double Trainer::train_step_fault_tolerant() {
+  const auto& ft = options_.fault_tolerance;
+  for (;;) {
+    maybe_take_checkpoint();
+    // Snapshot the workload stream so a replayed step consumes the exact
+    // same batch — the invariant behind the bitwise chaos tests.
+    const Rng rng_snapshot = workload_.rng();
+    const std::int64_t tokens_snapshot = workload_.last_batch_tokens();
+
+    bool rolled_back = false;
+    bool non_finite = false;
+    double loss = 0.0;
+    int attempts = 0;
+    for (;;) {
+      try {
+        loss = train_step_impl(ft.numerics_guard, non_finite);
+        break;
+      } catch (const TransientError& e) {
+        // A transient that exhausted the comm-level retry budget. Replay
+        // the whole step from the snapshot; escalate to rollback (and
+        // then abort) when step-level replays are exhausted too.
+        sync_injector_stats();
+        workload_.set_rng(rng_snapshot);
+        workload_.set_last_batch_tokens(tokens_snapshot);
+        ++metrics_.recovery().transient_step_retries;
+        if (++attempts > ft.max_step_retries) {
+          if (!roll_back()) {
+            abort_with_diagnostics(
+                std::string("transient step retries exhausted: ") + e.what());
+          }
+          rolled_back = true;
+          break;
+        }
+      }
+      // CheckError / OutOfMemoryError propagate: invariant violations and
+      // exhausted memory are fatal at step level by design.
+    }
+    sync_injector_stats();
+    if (rolled_back) continue;  // replay from the restored checkpoint
+
+    if (!non_finite) {
+      consecutive_non_finite_ = 0;
+      return loss;
+    }
+    ++metrics_.recovery().non_finite_steps;
+    ++metrics_.recovery().optimizer_steps_skipped;
+    ++consecutive_non_finite_;
+    if (consecutive_non_finite_ >= ft.rollback_after) {
+      if (!roll_back()) {
+        abort_with_diagnostics(
+            "non-finite steps persisted with no checkpoint to roll back to");
+      }
+      continue;  // replay from the restored checkpoint
+    }
+    return loss;  // rung 1 only: optimizer update skipped, batch consumed
+  }
+}
+
+void Trainer::maybe_take_checkpoint() {
+  const int interval = options_.fault_tolerance.checkpoint_interval;
+  if (interval <= 0) return;
+  if (steps_run_ % interval != 0) return;
+  // A rollback lands exactly on a checkpointed step; don't re-snapshot it.
+  if (last_checkpoint_step_ == steps_run_) return;
+  auto_checkpoint_ = checkpoint_bytes();
+  checkpoint_metrics_steps_ = metrics_.steps();
+  last_checkpoint_step_ = steps_run_;
+  ++metrics_.recovery().checkpoints_taken;
+}
+
+bool Trainer::roll_back() {
+  if (auto_checkpoint_.empty()) return false;
+  if (rollbacks_done_ >= options_.fault_tolerance.max_rollbacks) {
+    abort_with_diagnostics("rollback budget exhausted");
+  }
+  restore_from_bytes(auto_checkpoint_);
+  metrics_.truncate_steps(checkpoint_metrics_steps_);
+  last_checkpoint_step_ = steps_run_;
+  ++rollbacks_done_;
+  ++metrics_.recovery().rollbacks;
+  return true;
+}
+
+void Trainer::abort_with_diagnostics(const std::string& reason) {
+  const RecoveryCounters& r = metrics_.recovery();
+  std::ostringstream os;
+  os << "fault-tolerant trainer aborting: " << reason << " [step "
+     << steps_run_ << ", step retries " << r.transient_step_retries
+     << ", non-finite " << r.non_finite_steps << ", skipped updates "
+     << r.optimizer_steps_skipped << ", rollbacks " << r.rollbacks
+     << "; injected: comm " << r.comm_failures_injected << " (retries "
+     << r.comm_retries << "), stragglers " << r.stragglers_injected
+     << ", alloc " << r.alloc_failures_injected << ", corruptions "
+     << r.corruptions_injected << "]";
+  throw CheckError(os.str());
+}
+
+void Trainer::sync_injector_stats() {
+  const FaultInjector* injector = layer_->cluster().fault_injector();
+  if (injector == nullptr) return;
+  const FaultStats s = injector->stats();
+  RecoveryCounters& r = metrics_.recovery();
+  r.comm_failures_injected = s.comm_failures;
+  r.comm_retries = s.comm_retries;
+  r.stragglers_injected = s.stragglers;
+  r.alloc_failures_injected = s.alloc_failures;
+  r.corruptions_injected = s.corruptions;
+}
+
+std::vector<std::uint8_t> Trainer::checkpoint_bytes() {
+  TrainerCheckpointState st;
+  st.steps_run = steps_run_;
+  st.corrections_installed = corrections_installed_;
+  st.corrections = corrections_;
+  st.fit = correction_fit_.state();
+  st.searcher = layer_->searcher().export_state();
+  return encode_checkpoint(*layer_, *optimizer_, workload_, st);
+}
+
+void Trainer::restore_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  const TrainerCheckpointState st =
+      apply_checkpoint(bytes, *layer_, *optimizer_, workload_);
+  steps_run_ = static_cast<int>(st.steps_run);
+  corrections_ = st.corrections;
+  corrections_installed_ = st.corrections_installed;
+  correction_fit_.set_state(st.fit);
+  // Corrections first: installing them flushes the searcher's cache, which
+  // the imported state then repopulates.
+  layer_->set_corrections(corrections_);
+  layer_->searcher().import_state(st.searcher);
+  consecutive_non_finite_ = 0;
+}
+
+void Trainer::save_checkpoint(const std::string& path) {
+  write_checkpoint_file(path, checkpoint_bytes());
+}
+
+void Trainer::restore_checkpoint(const std::string& path) {
+  restore_from_bytes(read_checkpoint_file(path));
 }
 
 const TrainingMetrics& Trainer::run() {

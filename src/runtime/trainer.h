@@ -3,8 +3,21 @@
 /// End-to-end MoE training loop on the simulated cluster: workload →
 /// forward → MSE loss → backward → Adam. Drives the full numeric path the
 /// tests verify (loss decreases, restore strategies are gradient-exact).
+///
+/// The optional fault-tolerant mode layers a degradation ladder on top of
+/// the plain step: transient comm failures are replayed in place (the
+/// workload RNG is snapshotted per step, so a replay consumes the same
+/// batch), non-finite losses/gradients skip the optimizer update, repeated
+/// non-finite steps roll back to the last in-memory checkpoint, and an
+/// exhausted rollback budget aborts with a diagnostic counter summary.
+/// With every knob off and no injector installed, train_step() dispatches
+/// to the exact unguarded path — fault-free training is bitwise identical
+/// to a build without this layer.
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/moe_layer.h"
 #include "runtime/adam.h"
@@ -13,6 +26,28 @@
 #include "sim/calibration.h"
 
 namespace mpipe::runtime {
+
+/// Knobs for the recovery ladder. `enabled()` false + no fault injector on
+/// the cluster ⇒ the trainer never touches any of this machinery.
+struct FaultToleranceOptions {
+  /// Scan loss and gradients for NaN/Inf after backward; a non-finite step
+  /// skips the optimizer update (ladder rung 1).
+  bool numerics_guard = false;
+  /// Take an in-memory checkpoint every N committed steps (0 disables; an
+  /// initial checkpoint is taken before step 0 so rung 2 always has a
+  /// target). Checkpoints use the same framed image as save_checkpoint().
+  int checkpoint_interval = 0;
+  /// Consecutive non-finite steps tolerated (as skipped updates) before
+  /// rolling back to the last checkpoint (ladder rung 2).
+  int rollback_after = 2;
+  /// Rollbacks allowed per run before aborting (ladder rung 3).
+  int max_rollbacks = 4;
+  /// Step-level replays of a TransientError that escaped the comm-level
+  /// retry, before escalating to rollback/abort.
+  int max_step_retries = 2;
+
+  bool enabled() const { return numerics_guard || checkpoint_interval > 0; }
+};
 
 struct TrainerOptions {
   WorkloadOptions workload;
@@ -37,6 +72,7 @@ struct TrainerOptions {
   /// measured-vs-simulated chrome traces are written to
   /// <trace_path>.fwd.json / <trace_path>.bwd.json (chrome://tracing).
   std::string trace_path;
+  FaultToleranceOptions fault_tolerance;
 };
 
 class Trainer {
@@ -66,7 +102,37 @@ class Trainer {
   /// True once the warmup fit ran and the layer re-ranks with it.
   bool corrections_installed() const { return corrections_installed_; }
 
+  /// Serializes the full training state (weights, Adam, workload RNG,
+  /// correction + searcher state) into one framed, checksummed image — see
+  /// runtime/checkpoint.h for the format.
+  std::vector<std::uint8_t> checkpoint_bytes();
+  /// All-or-nothing restore of a checkpoint_bytes() image; a fresh Trainer
+  /// restored from step-k bytes resumes bitwise identically to the run
+  /// that produced them. Throws CheckError on a corrupt or mismatched
+  /// image, leaving state untouched.
+  void restore_from_bytes(const std::vector<std::uint8_t>& bytes);
+  void save_checkpoint(const std::string& path);
+  void restore_checkpoint(const std::string& path);
+
+  int steps_run() const { return steps_run_; }
+
  private:
+  /// The unguarded PR-5 step body; with `guard` set, scans the loss after
+  /// forward and the gradients after backward, and on a non-finite value
+  /// sets `non_finite` and returns without touching optimizer state or
+  /// metrics. Exception-safe w.r.t. the warmup profiling overrides.
+  double train_step_impl(bool guard, bool& non_finite);
+  /// The recovery ladder around train_step_impl (see file comment).
+  double train_step_fault_tolerant();
+  void maybe_take_checkpoint();
+  /// Rung 2: restore the last in-memory checkpoint and truncate metrics to
+  /// it. False when no checkpoint exists; escalates to
+  /// abort_with_diagnostics when the rollback budget is spent.
+  bool roll_back();
+  [[noreturn]] void abort_with_diagnostics(const std::string& reason);
+  /// Mirrors the cluster injector's fault totals into metrics().recovery().
+  void sync_injector_stats();
+
   core::MoELayer* layer_;
   TrainerOptions options_;
   WorkloadGenerator workload_;
@@ -77,6 +143,12 @@ class Trainer {
   sim::OpClassCorrections corrections_;
   bool corrections_installed_ = false;
   int steps_run_ = 0;
+  // Fault-tolerant mode state (untouched on the plain path).
+  std::vector<std::uint8_t> auto_checkpoint_;
+  std::size_t checkpoint_metrics_steps_ = 0;
+  int last_checkpoint_step_ = -1;
+  int consecutive_non_finite_ = 0;
+  int rollbacks_done_ = 0;
 };
 
 }  // namespace mpipe::runtime

@@ -35,6 +35,14 @@ class WorkloadGenerator {
 
   std::int64_t last_batch_tokens() const { return last_tokens_; }
 
+  /// Generator-state access for checkpoint/restore and step-level retry:
+  /// restoring the Rng (a cheap value copy) and the last batch size
+  /// replays the exact token stream from that point — the property the
+  /// bitwise-identical-resume tests pin.
+  const Rng& rng() const { return rng_; }
+  void set_rng(const Rng& rng) { rng_ = rng; }
+  void set_last_batch_tokens(std::int64_t tokens) { last_tokens_ = tokens; }
+
  private:
   WorkloadOptions options_;
   Rng rng_;

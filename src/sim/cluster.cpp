@@ -39,6 +39,12 @@ void Cluster::set_cost_config(CostModelConfig config) {
   cost_model_ = CostModel(std::move(config), topology_);
 }
 
+void Cluster::set_fault_injection(FaultInjectionConfig config) {
+  fault_injector_ = std::make_shared<const FaultInjector>(config);
+}
+
+void Cluster::clear_fault_injection() { fault_injector_.reset(); }
+
 TimingResult Cluster::run(const OpGraph& graph, ExecutionPolicy policy,
                           ExecutionProfile* profile) {
   run_functional(graph, policy, profile);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
 #include "sim/graph_executor.h"
@@ -42,6 +43,24 @@ class Cluster {
   /// use this to install measured calibration curves after construction.
   void set_cost_config(CostModelConfig config);
 
+  /// Installs a cluster-scoped fault injector (common/fault_injection.h).
+  /// Comm ops built after this consult it for injected failures, retries,
+  /// stragglers, and payload corruption; allocators wired via
+  /// fault_injector_shared() consult it for OOM injection. Ops capture the
+  /// injector by shared_ptr, so graphs built against one configuration
+  /// stay valid across clear/replace.
+  void set_fault_injection(FaultInjectionConfig config);
+  void clear_fault_injection();
+
+  /// Null when no injection is configured (the default — and then every
+  /// fault hook reduces to one null check).
+  const FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+  std::shared_ptr<const FaultInjector> fault_injector_shared() const {
+    return fault_injector_;
+  }
+
   /// Functional + timed execution. Under ExecutionPolicy::kParallel the
   /// closures run concurrently on the shared ThreadPool after the hazard
   /// validator proves every unordered op pair disjoint; kSerial is the
@@ -68,6 +87,7 @@ class Cluster {
   CostModel cost_model_;
   InterferenceModel interference_;
   std::vector<Device> devices_;
+  std::shared_ptr<const FaultInjector> fault_injector_;
 };
 
 }  // namespace mpipe::sim

@@ -233,6 +233,50 @@ OpClassCorrections CorrectionFit::fit() const {
   return c;
 }
 
+std::vector<StragglerFlag> detect_stragglers(const OpGraph& graph,
+                                             const ScheduleDiff& diff,
+                                             double threshold,
+                                             double min_excess_seconds) {
+  std::vector<StragglerFlag> out;
+  if (threshold <= 0.0) return out;
+  // Per-class median measured/simulated ratio as the normalizer. A mean or
+  // a total would let a single injected straggler dominate its class and
+  // raise its own expectation enough to slip under the threshold.
+  std::array<std::vector<double>, kNumOpClasses> ratios;
+  for (const ScheduleDiff::OpDiff& od : diff.ops) {
+    if (od.simulated <= 0.0) continue;
+    const OpClass c = op_class(graph.op(od.id).category);
+    ratios[static_cast<std::size_t>(c)].push_back(od.measured / od.simulated);
+  }
+  std::array<double, kNumOpClasses> median{};
+  for (std::size_t c = 0; c < ratios.size(); ++c) {
+    auto& r = ratios[c];
+    if (r.empty()) continue;
+    const std::size_t mid = r.size() / 2;
+    std::nth_element(r.begin(), r.begin() + static_cast<std::ptrdiff_t>(mid),
+                     r.end());
+    median[c] = r[mid];
+  }
+  for (const ScheduleDiff::OpDiff& od : diff.ops) {
+    if (od.simulated <= 0.0) continue;
+    const Op& op = graph.op(od.id);
+    const double m = median[static_cast<std::size_t>(op_class(op.category))];
+    const double expected = od.simulated * m;
+    if (expected <= 0.0) continue;
+    if (od.measured > threshold * expected &&
+        od.measured - expected >= min_excess_seconds) {
+      StragglerFlag flag;
+      flag.id = od.id;
+      flag.label = op.label;
+      flag.simulated = od.simulated;
+      flag.measured = od.measured;
+      flag.expected = expected;
+      out.push_back(std::move(flag));
+    }
+  }
+  return out;
+}
+
 void apply_corrections(OpGraph& graph,
                        const OpClassCorrections& corrections) {
   if (corrections.identity()) return;

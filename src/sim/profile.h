@@ -148,6 +148,32 @@ struct ScheduleDiff {
 ScheduleDiff diff_schedules(const OpGraph& graph, const TimingResult& simulated,
                             const MeasuredTimeline& measured);
 
+/// One op the executor watchdog flagged: its measured wall-clock duration
+/// exceeded `threshold` × what the model predicts for it after per-class
+/// normalization. Surfaced through StepReport::stragglers.
+struct StragglerFlag {
+  int id = -1;
+  std::string label;
+  double simulated = 0.0;  ///< seconds the TimingEngine charged
+  double measured = 0.0;   ///< seconds the wall clock observed
+  double expected = 0.0;   ///< normalized expectation (see detect_stragglers)
+  /// How many times slower than expected the op ran.
+  double ratio() const { return expected > 0.0 ? measured / expected : 0.0; }
+};
+
+/// The watchdog: flags ops whose measured duration exceeds `threshold` ×
+/// their normalized expectation. Simulated seconds model an A100 pod while
+/// measured seconds are host wall-clock, so raw comparison is meaningless;
+/// each op's expectation is its simulated duration scaled by the *median*
+/// measured/simulated ratio of its op class (median, not total, so one
+/// straggler cannot inflate its own yardstick). `min_excess_seconds`
+/// suppresses flags on ops whose absolute excess is noise-level even when
+/// the ratio is large. threshold <= 0 disables detection.
+std::vector<StragglerFlag> detect_stragglers(const OpGraph& graph,
+                                             const ScheduleDiff& diff,
+                                             double threshold,
+                                             double min_excess_seconds = 1e-4);
+
 /// Multiplicative per-op-class correction factors: corrected modeled
 /// seconds = factor * modeled seconds, with factor fitted as measured /
 /// simulated over profiled steps. Identity (all 1.0) leaves every ranking
@@ -172,6 +198,20 @@ class CorrectionFit {
   void add(const ScheduleDiff& diff);
   OpClassCorrections fit() const;
   int steps() const { return steps_; }
+
+  /// Accumulator snapshot for checkpoint/restore: a rollback in the middle
+  /// of the profiling warmup must not double-count replayed steps.
+  struct State {
+    std::array<double, kNumOpClasses> simulated{};
+    std::array<double, kNumOpClasses> measured{};
+    int steps = 0;
+  };
+  State state() const { return {simulated_, measured_, steps_}; }
+  void set_state(const State& s) {
+    simulated_ = s.simulated;
+    measured_ = s.measured;
+    steps_ = s.steps;
+  }
 
  private:
   std::array<double, kNumOpClasses> simulated_{};

@@ -1,6 +1,8 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -314,6 +316,38 @@ Tensor mse_loss_grad(const Tensor& pred, const Tensor& target) {
   const float inv = 2.0f / static_cast<float>(n);
   for (std::int64_t i = 0; i < n; ++i) po[i] = inv * (pp[i] - pt[i]);
   return out;
+}
+
+bool all_finite(const Tensor& t) {
+  if (!t.defined()) return true;
+  const float* p = t.data();
+  const std::int64_t n = t.numel();
+  constexpr std::uint32_t kExpMask = 0x7f800000u;
+  std::int64_t i = 0;
+#if defined(MPIPE_SIMD)
+  // 8-lane exponent-bit test: OR the "exponent all ones" lane masks into
+  // an accumulator and inspect it once per block. Bit tests (not float
+  // compares) so NaN payloads and compiler float flags cannot change the
+  // verdict.
+  typedef std::uint32_t VU __attribute__((
+      vector_size(simd::kLanes * sizeof(std::uint32_t)),
+      aligned(alignof(std::uint32_t))));
+  VU any_bad = {};
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    VU bits;
+    std::memcpy(&bits, p + i, simd::kLanes * sizeof(std::uint32_t));
+    any_bad |= ((bits & kExpMask) == kExpMask);
+  }
+  for (std::int64_t lane = 0; lane < simd::kLanes; ++lane) {
+    if (any_bad[lane] != 0) return false;
+  }
+#endif
+  for (; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p + i, sizeof(bits));
+    if ((bits & kExpMask) == kExpMask) return false;
+  }
+  return true;
 }
 
 }  // namespace mpipe

@@ -66,4 +66,10 @@ void scale_rows_(Tensor& x, const std::vector<float>& s);
 double mse_loss(const Tensor& pred, const Tensor& target);
 Tensor mse_loss_grad(const Tensor& pred, const Tensor& target);
 
+/// True when every element is finite (no NaN, no ±inf). 8-lane scan over
+/// the fp32 exponent bits (a float is non-finite iff its exponent field is
+/// all ones), so the verdict is exact regardless of compiler float-math
+/// flags. Read-only — the numerics guard's probe.
+bool all_finite(const Tensor& t);
+
 }  // namespace mpipe

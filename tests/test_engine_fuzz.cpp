@@ -789,6 +789,53 @@ TEST(GraphExecutorFuzz, ProfiledTracesAreWellFormedAcrossPoolSizes) {
   ThreadPool::reset_shared(0);
 }
 
+TEST(GraphExecutorFuzz, ConcurrentRandomFailuresTerminateAcrossPoolSizes) {
+  // Random DAGs with several ops replaced by throwers: whatever the shape
+  // and pool size, the run must rethrow one of the planted errors (never a
+  // mangled or foreign one), never hang, leave no stray enqueued tasks
+  // behind, and leave the pool fully reusable. Seeds cover sparse and
+  // dense graphs, and failer counts from 1 to 5.
+  const std::vector<ExecFuzzCase> cases = {
+      {401, 12, 2, 1}, {402, 33, 4, 3}, {403, 60, 4, 5},
+      {404, 45, 8, 2}, {405, 80, 6, 6},
+  };
+  for (const auto& c : cases) {
+    const int failers = 1 + static_cast<int>(c.seed % 5);
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool::reset_shared(threads);
+      ExecFuzzBuffers buf;
+      OpGraph g = random_exec_graph(c, buf);
+      Rng rng(c.seed * 7919);
+      for (int k = 0; k < failers; ++k) {
+        const int victim = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(g.size())));
+        g.op(victim).fn = [victim] {
+          throw TransientError("fuzz planted " + std::to_string(victim));
+        };
+      }
+      const std::uint64_t before = ThreadPool::shared().tasks_enqueued();
+      try {
+        run_graph_parallel(g, ThreadPool::shared());
+        FAIL() << "seed " << c.seed << " threads " << threads
+               << ": planted failures did not surface";
+      } catch (const TransientError& e) {
+        EXPECT_NE(std::string(e.what()).find("fuzz planted"),
+                  std::string::npos)
+            << "seed " << c.seed;
+      }
+      EXPECT_LE(ThreadPool::shared().tasks_enqueued() - before,
+                static_cast<std::uint64_t>(g.size()))
+          << "seed " << c.seed << " threads " << threads;
+
+      ExecFuzzBuffers clean_buf;
+      OpGraph clean = random_exec_graph(c, clean_buf);
+      EXPECT_NO_THROW(run_graph_parallel(clean, ThreadPool::shared()))
+          << "pool unusable after failure, seed " << c.seed;
+    }
+  }
+  ThreadPool::reset_shared(0);
+}
+
 TEST(GraphExecutorFuzz, PlantedMissingWarEdgeIsRejectedLoudly) {
   // Take a validator-clean random graph and append two writers of a fresh
   // shared slot on different devices with no ordering edge between them —

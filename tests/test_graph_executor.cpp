@@ -253,6 +253,77 @@ TEST(GraphExecutor, ClosureExceptionPropagatesAndRunTerminates) {
   ThreadPool::reset_shared(0);
 }
 
+TEST(GraphExecutor, ConcurrentMultiOpFailureRethrowsExactlyOne) {
+  // Several independent ops fail *simultaneously* (they rendezvous on an
+  // atomic before throwing, so under multi-worker pools the failures race):
+  // the executor must rethrow exactly one of the planted errors, never
+  // hang, never run dependent ops, and leave the pool reusable. The
+  // tasks_enqueued delta is checked against the op count so no cancelled
+  // straggler task is left enqueued behind the run.
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool::reset_shared(threads);
+    constexpr int kFailers = 3;
+    OpGraph g;
+    std::atomic<int> at_barrier{0};
+    std::atomic<int> downstream_ran{0};
+    std::vector<int> failer_ids;
+    for (int i = 0; i < kFailers; ++i) {
+      Op op;
+      op.label = "fail" + std::to_string(i);
+      op.devices = {i};
+      op.fn = [&at_barrier, i] {
+        at_barrier.fetch_add(1);
+        // Rendezvous so the throws overlap when workers allow; bounded
+        // spin so a single-worker pool (where ops run serially and the
+        // count can never reach kFailers in op 0) still terminates.
+        const std::int64_t until = ExecutionProfile::now_ns() + 10'000'000;
+        while (at_barrier.load() < kFailers &&
+               ExecutionProfile::now_ns() < until) {
+        }
+        throw TransientError("planted failure " + std::to_string(i));
+      };
+      failer_ids.push_back(g.add(std::move(op)));
+    }
+    for (int i = 0; i < kFailers; ++i) {
+      Op tail;
+      tail.label = "after" + std::to_string(i);
+      tail.devices = {i};
+      tail.deps = {failer_ids[static_cast<std::size_t>(i)]};
+      tail.fn = [&downstream_ran] { downstream_ran.fetch_add(1); };
+      g.add(std::move(tail));
+    }
+
+    const std::uint64_t before = ThreadPool::shared().tasks_enqueued();
+    try {
+      run_graph_parallel(g, ThreadPool::shared());
+      FAIL() << "multi-failure graph must throw (threads=" << threads << ")";
+    } catch (const TransientError& e) {
+      // Exactly one of the planted errors, verbatim.
+      EXPECT_NE(std::string(e.what()).find("planted failure"),
+                std::string::npos);
+    }
+    const std::uint64_t enqueued =
+        ThreadPool::shared().tasks_enqueued() - before;
+    EXPECT_LE(enqueued, static_cast<std::uint64_t>(g.size()))
+        << "cancelled run left stray tasks enqueued (threads=" << threads
+        << ")";
+    EXPECT_EQ(downstream_ran.load(), 0)
+        << "dependent op ran after its producer failed";
+
+    // The pool and executor must be fully functional after the failure.
+    std::atomic<int> ok{0};
+    OpGraph clean;
+    Op op;
+    op.label = "clean";
+    op.devices = {0};
+    op.fn = [&ok] { ok.fetch_add(1); };
+    clean.add(std::move(op));
+    EXPECT_NO_THROW(run_graph_parallel(clean, ThreadPool::shared()));
+    EXPECT_EQ(ok.load(), 1);
+  }
+  ThreadPool::reset_shared(0);
+}
+
 TEST(GraphExecutorProfile, SerialProfiledTimelineIsGapFreeAndStreamOrdered) {
   // A profiled serial run executes ops back-to-back on one thread, so the
   // recorded intervals must be non-overlapping in recording order, every
