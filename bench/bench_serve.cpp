@@ -1,0 +1,83 @@
+/// google-benchmark closed-loop serving bench: a fresh Server per
+/// iteration replays a fixed open-arrival trace (Poisson and bursty
+/// shapes) through the continuous batcher and the forward-only path.
+/// items_per_second is real tokens served per wall-clock second (the
+/// host-side cost of batching + forward_only); the counters carry the
+/// virtual-clock serving quality — p50/p99 end-to-end latency in
+/// milliseconds and tokens/s on the simulated timeline — which is what
+/// joins the BENCH_*.json trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include "core/moe_layer.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+
+namespace {
+
+using namespace mpipe;
+
+core::MoELayerOptions layer_options() {
+  core::MoELayerOptions o;
+  o.d_model = 64;
+  o.d_hidden = 256;
+  o.num_experts = 4;
+  o.num_partitions = 2;  // fixed n: no search noise in the timing
+  o.memory_reuse = true;
+  o.seed = 13;
+  return o;
+}
+
+serve::TrafficOptions traffic_options() {
+  serve::TrafficOptions t;
+  t.num_requests = 32;
+  t.rate_rps = 2000.0;
+  t.min_tokens = 1;
+  t.max_tokens = 16;
+  t.d_model = 64;
+  t.seed = 29;
+  return t;
+}
+
+void run_serve(benchmark::State& state,
+               std::vector<serve::ServeRequest> (*make_trace)(
+                   const serve::TrafficOptions&)) {
+  sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
+  core::MoELayer layer(cluster, layer_options());
+  serve::ServerOptions sopt;
+  sopt.slo.max_tokens_per_device = 64;
+  const auto trace = make_trace(traffic_options());
+
+  std::int64_t tokens = 0;
+  double p50 = 0.0, p99 = 0.0, virtual_tps = 0.0, batch_tokens = 0.0;
+  for (auto _ : state) {
+    serve::Server server(layer, sopt);
+    const serve::ServeMetrics& m = server.run(trace);
+    tokens += static_cast<std::int64_t>(m.total_tokens());
+    p50 = m.latency_percentile(0.5);
+    p99 = m.latency_percentile(0.99);
+    virtual_tps = m.tokens_per_second();
+    batch_tokens = m.mean_batch_tokens();
+  }
+  state.SetItemsProcessed(tokens);
+  state.counters["p50_ms"] = p50 * 1e3;
+  state.counters["p99_ms"] = p99 * 1e3;
+  state.counters["virtual_tokens_per_s"] = virtual_tps;
+  state.counters["mean_batch_tokens"] = batch_tokens;
+}
+
+// UseRealTime: percentile math and the batcher run on the main thread but
+// tokens/s must stay comparable if the executor ever goes parallel.
+void BM_ServePoisson(benchmark::State& state) {
+  run_serve(state, serve::poisson_trace);
+}
+BENCHMARK(BM_ServePoisson)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ServeBursty(benchmark::State& state) {
+  run_serve(state, serve::bursty_trace);
+}
+BENCHMARK(BM_ServeBursty)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

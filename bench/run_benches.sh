@@ -48,7 +48,7 @@ SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 # produces a hard-to-debug one-liner in CI logs.
 MISSING=0
 for bin in bench_micro_gemm bench_micro_alltoall bench_micro_datamove \
-           bench_micro_step; do
+           bench_micro_step bench_serve; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "error: bench binary missing: ${BUILD_DIR}/bench/${bin}" >&2
     MISSING=1
@@ -63,9 +63,12 @@ fi
 run_suite() {  # run_suite <name> <dest_dir> <extra args...>
   local name="$1" dest="$2"
   shift 2
-  echo "== ${name} (items_per_second == FLOP/s or bytes/s) =="
+  # BENCH_<kind>.json: strip bench_micro_ first, then bench_ (bench_serve).
+  local kind="${name#bench_micro_}"
+  kind="${kind#bench_}"
+  echo "== ${name} (items_per_second == FLOP/s, bytes/s or tokens/s) =="
   "${BUILD_DIR}/bench/${name}" \
-    --benchmark_out="${dest}/BENCH_${name#bench_micro_}.json" \
+    --benchmark_out="${dest}/BENCH_${kind}.json" \
     --benchmark_out_format=json "$@"
 }
 
@@ -75,7 +78,8 @@ if [[ "${CHECK}" == "0" ]]; then
   run_suite bench_micro_alltoall "${OUT_DIR}"
   run_suite bench_micro_datamove "${OUT_DIR}"
   run_suite bench_micro_step "${OUT_DIR}"
-  echo "Wrote ${OUT_DIR}/BENCH_{gemm,alltoall,datamove,step}.json"
+  run_suite bench_serve "${OUT_DIR}"
+  echo "Wrote ${OUT_DIR}/BENCH_{gemm,alltoall,datamove,step,serve}.json"
   exit 0
 fi
 
@@ -86,7 +90,7 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 77
 fi
 for f in BENCH_gemm.json BENCH_alltoall.json BENCH_datamove.json \
-         BENCH_step.json; do
+         BENCH_step.json BENCH_serve.json; do
   if [[ ! -f "${OUT_DIR}/${f}" ]]; then
     echo "skip: no committed baseline ${OUT_DIR}/${f}" >&2
     exit 77
@@ -108,8 +112,10 @@ check_once() {
     --benchmark_min_time=0.3 --benchmark_repetitions=2
   run_suite bench_micro_step "${SCRATCH}" \
     --benchmark_min_time=0.3 --benchmark_repetitions=2
+  run_suite bench_serve "${SCRATCH}" \
+    --benchmark_min_time=0.3 --benchmark_repetitions=2
   local status=0
-  for kind in gemm alltoall datamove step; do
+  for kind in gemm alltoall datamove step serve; do
     python3 "${SCRIPT_DIR}/check_bench_regression.py" \
       --baseline "${OUT_DIR}/BENCH_${kind}.json" \
       --candidate "${SCRATCH}/BENCH_${kind}.json" \

@@ -1,8 +1,10 @@
 #include "comm/all_to_all.h"
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
@@ -37,25 +39,49 @@ void apply_segments_guarded(const std::vector<RowSegment>& segments,
   }
   run_comm_guarded(injector, key, [&] { apply_segments(segments); });
   // Post-copy payload corruption: flip one destination float to NaN, as a
-  // flaky link would. The numerics guard downstream is responsible for
-  // catching it.
+  // flaky link would. Detection is split by where the NaN lands: a combine
+  // destination feeds the loss, so the end-of-step numerics guard sees it;
+  // a dispatch destination sits below the expert ReLU, which flushes the
+  // NaN to zero — only the boundary scan below can catch that one.
   std::int64_t total = 0;
   for (const RowSegment& seg : segments) {
     if (seg.rows > 0) total += seg.rows * seg.dst->dim(1);
   }
   const std::int64_t idx = injector->corrupt_index(key, total, label);
-  if (idx < 0) return;
-  std::int64_t base = 0;
+  if (idx >= 0) {
+    std::int64_t base = 0;
+    for (const RowSegment& seg : segments) {
+      if (seg.rows == 0) continue;
+      const std::int64_t cols = seg.dst->dim(1);
+      const std::int64_t count = seg.rows * cols;
+      if (idx < base + count) {
+        seg.dst->data()[seg.dst_row * cols + (idx - base)] =
+            std::numeric_limits<float>::quiet_NaN();
+        break;
+      }
+      base += count;
+    }
+  }
+  // Pre-activation finiteness scan at the comm boundary. Runs after the
+  // corruption hook on purpose: the injected NaN must be visible to the
+  // scan, exactly as link-level corruption would be. A hit raises
+  // TransientError *outside* run_comm_guarded — re-running this one op
+  // would re-read the same corrupt source state, so recovery belongs to
+  // the step-replay ladder, which rebuilds the whole forward.
+  if (!injector->config().scan_payloads) return;
   for (const RowSegment& seg : segments) {
     if (seg.rows == 0) continue;
     const std::int64_t cols = seg.dst->dim(1);
-    const std::int64_t count = seg.rows * cols;
-    if (idx < base + count) {
-      seg.dst->data()[seg.dst_row * cols + (idx - base)] =
-          std::numeric_limits<float>::quiet_NaN();
-      return;
+    const float* dst = seg.dst->data() + seg.dst_row * cols;
+    for (std::int64_t i = 0; i < seg.rows * cols; ++i) {
+      if (std::isfinite(dst[i])) continue;
+      injector->count_detection();
+      std::ostringstream os;
+      os << "payload scan: non-finite float in destination of '" << label
+         << "' (key " << key << ", element " << i
+         << ") — silent corruption detected at the comm boundary";
+      throw TransientError(os.str());
     }
-    base += count;
   }
 }
 
@@ -116,6 +142,11 @@ int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
     apply_segments_guarded(*moved, injector.get(), key, lbl);
   };
   declare_segment_accesses(op, *moved);
+  // A serving-sized batch can leave a partition with zero rows everywhere:
+  // the exchange moves nothing, so keep only the timed launch. With no
+  // declared accesses the hazard validator would (rightly) reject the
+  // closure as unprovable for concurrent execution.
+  if (op.reads.empty() && op.writes.empty()) op.fn = nullptr;
   return graph.add(std::move(op));
 }
 

@@ -38,10 +38,15 @@ void apply_segments(const std::vector<RowSegment>& segments);
 /// apply_segments under the cluster's fault-injection schedule: optional
 /// straggler delay, injected TransientErrors with bounded deterministic
 /// retry (faults fire *before* any byte moves, so retries are idempotent),
-/// and optional post-copy NaN corruption of one destination float. A null
-/// injector is exactly apply_segments. `key` is the op's build-time fault
-/// key (FaultInjector::reserve_key); `label` is the op's graph label,
-/// matched against the injector's corrupt_label_filter.
+/// and optional post-copy NaN corruption of one destination float. When
+/// the injector's scan_payloads is set, destination rows are additionally
+/// scanned for non-finite floats after the copy (and after the corruption
+/// hook): a hit counts a detection and throws TransientError for the
+/// step-replay ladder — the pre-activation net that catches corruption a
+/// downstream ReLU would silently flush. A null injector is exactly
+/// apply_segments. `key` is the op's build-time fault key
+/// (FaultInjector::reserve_key); `label` is the op's graph label, matched
+/// against the injector's corrupt_label_filter.
 void apply_segments_guarded(const std::vector<RowSegment>& segments,
                             const FaultInjector* injector, std::uint64_t key,
                             std::string_view label);

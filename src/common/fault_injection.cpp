@@ -116,6 +116,7 @@ FaultStats FaultInjector::stats() const {
   out.stragglers = stats_.stragglers.load();
   out.alloc_failures = stats_.alloc_failures.load();
   out.corruptions = stats_.corruptions.load();
+  out.corruptions_detected = stats_.corruptions_detected.load();
   return out;
 }
 

@@ -64,10 +64,22 @@ struct FaultInjectionConfig {
   int max_corruptions = -1;
   /// Only ops whose label starts with this prefix are corruption-eligible
   /// (empty = any guarded segment op). Corruption injected *below* a ReLU
-  /// is silently flushed to zero by the max — undetectable by any
-  /// finiteness scan — so deterministic recovery tests aim the NaN at a
-  /// combine destination ("R"), which feeds the loss directly.
+  /// (a dispatch destination, "S") is flushed to zero by the max before it
+  /// can reach the loss — invisible to the end-of-step numerics guard. The
+  /// pre-activation scan below closes that hole; without it, deterministic
+  /// recovery tests must aim the NaN at a combine destination ("R"), which
+  /// feeds the loss directly.
   std::string corrupt_label_filter;
+
+  /// When true, every guarded segment op scans its destination rows for
+  /// non-finite floats *at the comm boundary* — i.e. before any activation
+  /// (ReLU) can flush an injected NaN to zero — and raises TransientError
+  /// on a hit, so the step-replay ladder recovers from corruption the
+  /// end-of-step numerics guard can never see. Detections are counted in
+  /// FaultStats::corruptions_detected. Off by default: the scan touches
+  /// every payload byte a second time and is meant for the chaos tier, not
+  /// the bench path.
+  bool scan_payloads = false;
 
   RetryPolicy retry;
 };
@@ -79,7 +91,8 @@ struct FaultStats {
   std::uint64_t comm_gave_up = 0;   ///< retry budgets exhausted
   std::uint64_t stragglers = 0;     ///< delays injected
   std::uint64_t alloc_failures = 0;
-  std::uint64_t corruptions = 0;    ///< floats NaN-corrupted
+  std::uint64_t corruptions = 0;           ///< floats NaN-corrupted
+  std::uint64_t corruptions_detected = 0;  ///< caught by the payload scan
 
   std::uint64_t total_faults() const {
     return comm_failures + stragglers + alloc_failures + corruptions;
@@ -121,6 +134,8 @@ class FaultInjector {
 
   void count_retry() const { stats_.comm_retries.fetch_add(1); }
   void count_gave_up() const { stats_.comm_gave_up.fetch_add(1); }
+  /// A payload scan found a non-finite destination float (scan_payloads).
+  void count_detection() const { stats_.corruptions_detected.fetch_add(1); }
 
   FaultStats stats() const;
 
@@ -139,6 +154,7 @@ class FaultInjector {
     std::atomic<std::uint64_t> stragglers{0};
     std::atomic<std::uint64_t> alloc_failures{0};
     std::atomic<std::uint64_t> corruptions{0};
+    std::atomic<std::uint64_t> corruptions_detected{0};
   };
 
   FaultInjectionConfig config_;

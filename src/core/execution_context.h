@@ -53,6 +53,13 @@ struct MoeStepContext {
   moe::DispatchPlan plan;
   std::int64_t d_model = 0;
   std::int64_t d_hidden = 0;
+  /// Inference step: no backward will ever consume this context, so the
+  /// schedule builder emits no offload ops (nothing needs restoring) and
+  /// the ring slots are plain working memory, not a backward stash. The
+  /// forward math is identical either way — the flag only removes the
+  /// D2H traffic and host-staging residency a training forward pays to
+  /// keep its activations restorable.
+  bool forward_only = false;
   std::vector<DeviceStepState> dev;
 
   int n() const { return plan.n_partitions; }

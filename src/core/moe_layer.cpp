@@ -167,7 +167,11 @@ int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
   const auto& comm_curve = cluster_->cost_model().config().comm_curve;
   if (!comm_curve.empty() && num_devices() >= 2) {
     // Same contract for the comm side: the probe's AllToAll payloads must
-    // sit inside the calibrated sweep, not extrapolate past it.
+    // sit inside the calibrated sweep, not extrapolate past it. Steps that
+    // pin n and skip this gate (forward_only with n_override — the batcher
+    // dispatches whatever tokens arrived) instead record every off-sweep
+    // consultation in the curve's CommClampStats, so tiny serving
+    // micro-batches can't silently run off the measured sweep.
     const auto payloads = GranularitySearcher::alltoall_payload_range(
         tokens_per_device, tokens_per_device, options_.candidate_partitions,
         options_.d_model, num_devices());
@@ -228,6 +232,29 @@ double MoELayer::probe_step_seconds(std::int64_t tokens_per_device, int n,
   const double t_fwd = cluster_->time_only(fwd).makespan;
   const double t_bwd = cluster_->time_only(bwd).makespan;
   return t_fwd + t_bwd;
+}
+
+double MoELayer::probe_forward_seconds(std::int64_t tokens_per_device,
+                                       int n) {
+  MPIPE_EXPECTS(tokens_per_device > 0, "empty probe batch");
+  MPIPE_EXPECTS(n >= 1, "probe needs at least one partition");
+  MoeStepContext ctx;
+  ctx.mode = ExecutionMode::kTimingOnly;
+  // Mirror forward_only's execution shape exactly: ring reuse when
+  // enabled, and the forward_only flag so no offload op is ever timed.
+  ctx.strategy =
+      options_.memory_reuse ? ReuseStrategy::kS4 : ReuseStrategy::kNone;
+  ctx.forward_only = true;
+  ctx.d_model = options_.d_model;
+  ctx.d_hidden = options_.d_hidden;
+  ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
+                                        experts_per_device(), n, probe_skew_);
+  ctx.dev.resize(static_cast<std::size_t>(num_devices()));
+  sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
+  MPIPE_EXPECTS(fwd.is_timing_only(),
+                "forward-only probe built a functional graph");
+  sim::apply_corrections(fwd, corrections_);
+  return cluster_->time_only(fwd).makespan;
 }
 
 void MoELayer::setup_forward_buffers(MoeStepContext& ctx) {
@@ -449,6 +476,103 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
     outputs.push_back(ctx_->dev[static_cast<std::size_t>(d)].out);
   }
   return outputs;
+  } catch (...) {
+    ctx_.reset();
+    staging_.clear();
+    throw;
+  }
+}
+
+std::vector<Tensor> MoELayer::forward_only(const std::vector<Tensor>& inputs,
+                                           int n_override) {
+  MPIPE_EXPECTS(options_.mode == ExecutionMode::kFull,
+                "forward_only() requires full execution mode");
+  MPIPE_EXPECTS(static_cast<int>(inputs.size()) == num_devices(),
+                "need one input batch per device");
+  MPIPE_EXPECTS(n_override >= 0, "negative partition override");
+  const std::int64_t B = inputs[0].dim(0);
+  for (const Tensor& t : inputs) {
+    MPIPE_EXPECTS(t.shape().rank() == 2 && t.dim(0) == B &&
+                      t.dim(1) == options_.d_model,
+                  "inputs must all be (B, d_model)");
+  }
+  for (auto& a : allocators_) a.tracker().reset_peaks();
+  staging_.clear();
+
+  const int n = n_override > 0 ? n_override : configure_partitions(B);
+  // Strategy is moot for inference: no backward means nothing to restore,
+  // and the forward_only flag already strips every offload op. kS4 (pure
+  // re-comm/recompute) is the honest label — its forward never stashes —
+  // and it turns the ring buffers on, so working memory is the paper's
+  // 2·cap·M + cap·H rings instead of n per-partition activation stashes.
+  const ReuseStrategy strategy =
+      options_.memory_reuse ? ReuseStrategy::kS4 : ReuseStrategy::kNone;
+
+  // Same failure contract as forward(): a part-way failure (injected OOM,
+  // exhausted comm retries, a payload-scan detection) must release all
+  // step state before rethrowing, so the server can replay the batch.
+  try {
+    ctx_.emplace();
+    ctx_->mode = ExecutionMode::kFull;
+    ctx_->strategy = strategy;
+    ctx_->forward_only = true;
+    ctx_->d_model = options_.d_model;
+    ctx_->d_hidden = options_.d_hidden;
+    ctx_->dev.resize(static_cast<std::size_t>(num_devices()));
+
+    std::vector<std::vector<std::int64_t>> expert_of;
+    for (int d = 0; d < num_devices(); ++d) {
+      auto& st = ctx_->dev[static_cast<std::size_t>(d)];
+      st.x = inputs[static_cast<std::size_t>(d)];
+      st.gating = gates_[static_cast<std::size_t>(d)].forward(st.x);
+      expert_of.push_back(st.gating.expert_of);
+    }
+    ctx_->plan = moe::Dispatcher::build(expert_of, num_devices(),
+                                        experts_per_device(), n);
+    setup_forward_buffers(*ctx_);
+
+    sim::OpGraph graph = builder_.build_forward(*ctx_, refs());
+    report_ = StepReport{};
+    report_.n_partitions = n;
+    report_.strategy = strategy;
+    sim::ExecutionProfile profile;
+    sim::ExecutionProfile* sink =
+        options_.profile_execution ? &profile : nullptr;
+    report_.forward_timing = cluster_->run(graph, exec_policy(), sink);
+    report_.forward_seconds = report_.forward_timing.makespan;
+    if (sink) {
+      report_.profiled = true;
+      report_.forward_measured =
+          sim::build_timeline(graph, profile, num_devices());
+      report_.forward_diff = sim::diff_schedules(
+          graph, report_.forward_timing, report_.forward_measured);
+      if (options_.straggler_threshold > 0.0) {
+        report_.stragglers = sim::detect_stragglers(
+            graph, report_.forward_diff, options_.straggler_threshold);
+      }
+      if (options_.trace_execution) {
+        report_.forward_trace_json = sim::to_chrome_trace(
+            graph, report_.forward_timing, report_.forward_measured);
+      }
+    }
+    report_.mean_gpu_utilization =
+        combined_utilization(report_.forward_timing, sim::TimingResult{});
+
+    std::vector<MemorySnapshot> snaps;
+    for (const auto& a : allocators_) snaps.push_back(snapshot_peaks(a));
+    report_.memory = max_over_devices(snaps);
+
+    std::vector<Tensor> outputs;
+    outputs.reserve(static_cast<std::size_t>(num_devices()));
+    for (int d = 0; d < num_devices(); ++d) {
+      outputs.push_back(ctx_->dev[static_cast<std::size_t>(d)].out);
+    }
+    // Nothing stashed for a backward: the step state dies here. The
+    // outputs survive via the Tensor's shared storage; a backward() call
+    // now fails its has-context precondition, exactly as intended.
+    ctx_.reset();
+    staging_.clear();
+    return outputs;
   } catch (...) {
     ctx_.reset();
     staging_.clear();

@@ -119,6 +119,26 @@ class MoELayer {
   /// per-device input gradients. Must follow a forward() call.
   std::vector<Tensor> backward(const std::vector<Tensor>& grad_outputs);
 
+  // ---- forward-only inference step ----------------------------------------
+  /// The serving tier's step: identical math and output to forward(), but
+  /// no backward may follow — so nothing is kept restorable. No activation
+  /// stashes (ring buffers are used for working memory regardless of the
+  /// configured strategy), no offload ops, no host-staging residency, no
+  /// kTempBuffer allocations; all per-step state is released before
+  /// returning. `n_override` > 0 pins the partition count (the SLO
+  /// selector's choice); 0 falls back to configure_partitions. Per-step
+  /// timing/profiling lands in last_report() with backward fields empty.
+  std::vector<Tensor> forward_only(const std::vector<Tensor>& inputs,
+                                   int n_override = 0);
+
+  /// Modeled forward-only latency (seconds) of a step with
+  /// `tokens_per_device` balanced-routed tokens split into n partitions —
+  /// a timing-shape probe through the same corrected cost model the
+  /// granularity search uses, but for the inference graph (no offloads, no
+  /// backward). The serving SLO selector ranks its batch-size ladder with
+  /// this.
+  double probe_forward_seconds(std::int64_t tokens_per_device, int n);
+
   // ---- timing-only step at paper scale -------------------------------------
   /// Simulates one training step (fwd+bwd) with `tokens_per_device` tokens
   /// and synthetic balanced routing (optionally skewed toward device 0).

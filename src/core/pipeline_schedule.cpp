@@ -71,9 +71,13 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
   const std::int64_t B = ctx.plan.tokens_per_device;
   const std::int64_t E =
       static_cast<std::int64_t>(P) * ctx.plan.experts_per_device;
-  const bool offload_tdi = ctx.reuse() && !restores_tdi_by_comm(ctx.strategy);
-  const bool offload_tm =
-      ctx.reuse() && !restores_tm_by_recompute(ctx.strategy);
+  // Forward-only steps never restore, so they never offload: the serving
+  // tier's forward graph is a training forward minus every Htdi/Htm op,
+  // whatever the strategy says about how a backward *would* restore.
+  const bool offload_tdi = ctx.reuse() && !ctx.forward_only &&
+                           !restores_tdi_by_comm(ctx.strategy);
+  const bool offload_tm = ctx.reuse() && !ctx.forward_only &&
+                          !restores_tm_by_recompute(ctx.strategy);
 
   sim::OpGraph g;
 

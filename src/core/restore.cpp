@@ -203,6 +203,12 @@ std::string staging_key(const char* what, int p) {
 void offload_rows(mem::HostStaging& staging, int device,
                   const std::string& key, const Tensor& buf,
                   std::int64_t rows) {
+  // Strict store (no allow_overwrite): every key here is per-partition
+  // ("tdi:pN" / "tm:pN") and consumed exactly once by prefetch_rows, and
+  // MoELayer::forward() clears the staging store at step entry — so even a
+  // step replayed after a mid-forward fault starts from an empty store. A
+  // collision therefore means two ring slots mapped to one key, which must
+  // fail loudly rather than mask a double-stash.
   staging.store(device, key, buf.slice_rows(0, rows));
 }
 

@@ -4,13 +4,20 @@
 
 namespace mpipe::mem {
 
-void HostStaging::store(int device, const std::string& key, const Tensor& t) {
+void HostStaging::store(int device, const std::string& key, const Tensor& t,
+                        bool allow_overwrite) {
   MPIPE_EXPECTS(t.defined(), "staging a null tensor");
   Tensor copy = t.clone();  // deep copy outside the lock
   const auto k = std::make_pair(device, key);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(k);
   if (it != store_.end()) {
+    MPIPE_EXPECTS(allow_overwrite,
+                  "staging collision: device " + std::to_string(device) +
+                      " key '" + key +
+                      "' is already staged — a live entry was about to be "
+                      "silently overwritten (pass allow_overwrite to "
+                      "replace deliberately)");
     bytes_ -= it->second.nbytes();
     it->second = std::move(copy);
     bytes_ += it->second.nbytes();

@@ -23,9 +23,15 @@ namespace mpipe::mem {
 
 class HostStaging {
  public:
-  /// Stores a copy of `t` under (device, key). Overwrites silently (a
-  /// re-offload of the same partition in a later step is normal).
-  void store(int device, const std::string& key, const Tensor& t);
+  /// Stores a copy of `t` under (device, key). A collision with a live
+  /// entry is a CheckError by default: every offload key is supposed to be
+  /// consumed (load + drop) or cleared before the slot is written again, so
+  /// a double-store means two ring slots resolved to the same key — exactly
+  /// the masked double-stash bug a silent overwrite would hide. Callers
+  /// that *intend* replacement (e.g. re-staging a partition after a step
+  /// replay) must say so with `allow_overwrite`.
+  void store(int device, const std::string& key, const Tensor& t,
+             bool allow_overwrite = false);
 
   /// Retrieves a copy; throws if absent.
   Tensor load(int device, const std::string& key) const;

@@ -30,6 +30,7 @@ struct RecoveryCounters {
   std::uint64_t stragglers_injected = 0;
   std::uint64_t alloc_failures_injected = 0;
   std::uint64_t corruptions_injected = 0;
+  std::uint64_t corruptions_detected = 0;  ///< payload-scan hits (scan_payloads)
 
   bool any_recovery() const {
     return transient_step_retries + non_finite_steps +

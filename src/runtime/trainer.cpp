@@ -268,7 +268,8 @@ void Trainer::abort_with_diagnostics(const std::string& reason) {
      << "; injected: comm " << r.comm_failures_injected << " (retries "
      << r.comm_retries << "), stragglers " << r.stragglers_injected
      << ", alloc " << r.alloc_failures_injected << ", corruptions "
-     << r.corruptions_injected << "]";
+     << r.corruptions_injected << " (detected " << r.corruptions_detected
+     << ")]";
   throw CheckError(os.str());
 }
 
@@ -282,6 +283,7 @@ void Trainer::sync_injector_stats() {
   r.stragglers_injected = s.stragglers;
   r.alloc_failures_injected = s.alloc_failures;
   r.corruptions_injected = s.corruptions;
+  r.corruptions_detected = s.corruptions_detected;
 }
 
 std::vector<std::uint8_t> Trainer::checkpoint_bytes() {

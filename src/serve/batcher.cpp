@@ -1,0 +1,42 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpipe::serve {
+
+ContinuousBatcher::ContinuousBatcher(RequestQueue& queue,
+                                     std::int64_t max_batch_tokens)
+    : queue_(&queue), max_batch_tokens_(max_batch_tokens) {
+  MPIPE_EXPECTS(max_batch_tokens >= 0, "negative batch-token cap");
+}
+
+void ContinuousBatcher::set_max_batch_tokens(std::int64_t cap) {
+  MPIPE_EXPECTS(cap >= 0, "negative batch-token cap");
+  max_batch_tokens_ = cap;
+}
+
+MicroBatch ContinuousBatcher::next(double now) {
+  MicroBatch mb;
+  mb.requests = queue_->pop_arrived(now, max_batch_tokens_);
+  if (mb.requests.empty()) return mb;
+
+  for (const ServeRequest& r : mb.requests) {
+    mb.spans.push_back({r.id, mb.total_tokens, r.tokens.dim(0)});
+    mb.total_tokens += r.tokens.dim(0);
+    mb.oldest_arrival = std::min(mb.oldest_arrival, r.arrival_seconds);
+    mb.newest_arrival = std::max(mb.newest_arrival, r.arrival_seconds);
+  }
+  const std::int64_t d_model = mb.requests.front().tokens.dim(1);
+  mb.coalesced = Tensor(Shape{mb.total_tokens, d_model});
+  for (std::size_t i = 0; i < mb.requests.size(); ++i) {
+    const Tensor& t = mb.requests[i].tokens;
+    MPIPE_EXPECTS(t.dim(1) == d_model,
+                  "coalescing requests of mismatched d_model");
+    mb.coalesced.copy_into_rows(mb.spans[i].row_begin, t);
+  }
+  return mb;
+}
+
+}  // namespace mpipe::serve

@@ -1,0 +1,54 @@
+#pragma once
+/// \file batcher.h
+/// Continuous batching: coalesces whatever requests have arrived into one
+/// dispatch-ready micro-batch per server iteration (the serving analogue
+/// of the training tier's fixed step batch). FIFO and order-preserving —
+/// request r's tokens occupy one contiguous row span of the coalesced
+/// tensor, spans follow arrival order, and rows within a span keep the
+/// request's own token order — so per-request outputs can be sliced back
+/// out of the batch output by span alone.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace mpipe::serve {
+
+/// Where one request's tokens live inside the coalesced batch.
+struct RequestSpan {
+  std::int64_t id = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t rows = 0;
+};
+
+struct MicroBatch {
+  std::vector<ServeRequest> requests;  ///< arrival (FIFO) order
+  std::vector<RequestSpan> spans;      ///< same order; contiguous, gapless
+  Tensor coalesced;                    ///< (total_tokens, d_model)
+  std::int64_t total_tokens = 0;
+  double oldest_arrival = std::numeric_limits<double>::infinity();
+  double newest_arrival = 0.0;
+};
+
+class ContinuousBatcher {
+ public:
+  /// `max_batch_tokens` caps the coalesced batch (0 = unbounded); the SLO
+  /// selector re-plans it at runtime via set_max_batch_tokens.
+  ContinuousBatcher(RequestQueue& queue, std::int64_t max_batch_tokens);
+
+  /// Pops all requests arrived by `now` (up to the token cap) and
+  /// coalesces them. Empty optional-like result: a MicroBatch with zero
+  /// requests means nothing had arrived.
+  MicroBatch next(double now);
+
+  void set_max_batch_tokens(std::int64_t cap);
+  std::int64_t max_batch_tokens() const { return max_batch_tokens_; }
+
+ private:
+  RequestQueue* queue_;
+  std::int64_t max_batch_tokens_;
+};
+
+}  // namespace mpipe::serve

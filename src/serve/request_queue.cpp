@@ -1,0 +1,60 @@
+#include "serve/request_queue.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace mpipe::serve {
+
+void RequestQueue::push(ServeRequest r) {
+  MPIPE_EXPECTS(r.tokens.defined() && r.tokens.shape().rank() == 2 &&
+                    r.tokens.dim(0) >= 1,
+                "request needs a (tokens, d_model) batch with >= 1 token");
+  std::lock_guard<std::mutex> lock(mu_);
+  MPIPE_EXPECTS(q_.empty() || r.arrival_seconds >= last_arrival_,
+                "request arrivals must be pushed in non-decreasing "
+                "timestamp order");
+  last_arrival_ = r.arrival_seconds;
+  pending_tokens_ += r.tokens.dim(0);
+  q_.push_back(std::move(r));
+}
+
+std::vector<ServeRequest> RequestQueue::pop_arrived(double now,
+                                                    std::int64_t max_tokens) {
+  std::vector<ServeRequest> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t taken = 0;
+  while (!q_.empty() && q_.front().arrival_seconds <= now) {
+    const std::int64_t t = q_.front().tokens.dim(0);
+    // Head-of-line request always ships; later ones only while they fit.
+    if (!out.empty() && max_tokens > 0 && taken + t > max_tokens) break;
+    taken += t;
+    pending_tokens_ -= t;
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+bool RequestQueue::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.empty();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+std::int64_t RequestQueue::pending_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_tokens_;
+}
+
+double RequestQueue::next_arrival() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return std::numeric_limits<double>::infinity();
+  return q_.front().arrival_seconds;
+}
+
+}  // namespace mpipe::serve

@@ -1,0 +1,62 @@
+#pragma once
+/// \file request_queue.h
+/// Open-arrival intake of the serving tier. Requests carry their own
+/// arrival timestamp on a virtual clock (seconds since server start): the
+/// closed-loop server replays a whole trace deterministically, and a live
+/// producer thread can stamp wall-clock arrivals instead — the queue only
+/// requires that timestamps be non-decreasing in push order (FIFO == EDF
+/// under open arrivals).
+///
+/// Thread safety: push/pop are mutex-guarded so a producer thread can feed
+/// the queue while the server loop drains it (the TSAN tier runs exactly
+/// that). The batcher on top (batcher.h) never reorders what it pops, so
+/// per-request FIFO order survives end to end.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mpipe::serve {
+
+/// One inference request: a (tokens, d_model) batch of tokens that must be
+/// routed, dispatched and combined together with whatever else the batcher
+/// coalesces around it.
+struct ServeRequest {
+  std::int64_t id = 0;
+  Tensor tokens;                 ///< (t, d_model)
+  double arrival_seconds = 0.0;  ///< virtual-clock arrival timestamp
+};
+
+class RequestQueue {
+ public:
+  /// Enqueues a request. Arrival timestamps must be non-decreasing in push
+  /// order (CheckError otherwise): the queue is FIFO and a time-travelling
+  /// arrival would silently break latency accounting downstream.
+  void push(ServeRequest r);
+
+  /// Pops the longest prefix of requests with arrival <= now whose token
+  /// total fits `max_tokens` (0 = unbounded). The head request is always
+  /// admitted even when it alone exceeds the cap — an oversized request
+  /// must run (alone) rather than livelock the queue. Empty result means
+  /// nothing has arrived by `now`.
+  std::vector<ServeRequest> pop_arrived(double now, std::int64_t max_tokens);
+
+  bool empty() const;
+  std::size_t size() const;
+  std::int64_t pending_tokens() const;
+
+  /// Arrival timestamp of the head request; +infinity when empty. The idle
+  /// server advances its virtual clock here.
+  double next_arrival() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<ServeRequest> q_;
+  std::int64_t pending_tokens_ = 0;
+  double last_arrival_ = 0.0;
+};
+
+}  // namespace mpipe::serve

@@ -1,0 +1,77 @@
+#include "serve/traffic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/random_init.h"
+
+namespace mpipe::serve {
+
+namespace {
+
+void validate(const TrafficOptions& options) {
+  MPIPE_EXPECTS(options.num_requests >= 1, "empty trace");
+  MPIPE_EXPECTS(options.rate_rps > 0.0, "arrival rate must be positive");
+  MPIPE_EXPECTS(options.min_tokens >= 1 &&
+                    options.max_tokens >= options.min_tokens,
+                "bad per-request token range");
+  MPIPE_EXPECTS(options.d_model >= 1, "traffic needs the layer's d_model");
+}
+
+ServeRequest make_request(const TrafficOptions& options, std::int64_t id,
+                          double arrival, Rng& rng) {
+  ServeRequest r;
+  r.id = id;
+  const std::int64_t span = options.max_tokens - options.min_tokens + 1;
+  const std::int64_t t =
+      options.min_tokens + static_cast<std::int64_t>(rng.uniform_index(
+                               static_cast<std::uint64_t>(span)));
+  r.tokens = random_tokens(t, options.d_model, rng);
+  r.arrival_seconds = arrival;
+  return r;
+}
+
+double exp_gap(double rate, Rng& rng) {
+  // Inverse-CDF exponential; uniform() < 1 keeps the log finite.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+std::vector<ServeRequest> poisson_trace(const TrafficOptions& options) {
+  validate(options);
+  Rng rng(options.seed);
+  std::vector<ServeRequest> trace;
+  trace.reserve(static_cast<std::size_t>(options.num_requests));
+  double t = 0.0;
+  for (std::int64_t i = 0; i < options.num_requests; ++i) {
+    t += exp_gap(options.rate_rps, rng);
+    trace.push_back(make_request(options, i, t, rng));
+  }
+  return trace;
+}
+
+std::vector<ServeRequest> bursty_trace(const TrafficOptions& options) {
+  validate(options);
+  MPIPE_EXPECTS(options.burst_factor >= 1.0 &&
+                    options.burst_period_seconds > 0.0,
+                "bad burst shape");
+  Rng rng(options.seed);
+  std::vector<ServeRequest> trace;
+  trace.reserve(static_cast<std::size_t>(options.num_requests));
+  double t = 0.0;
+  for (std::int64_t i = 0; i < options.num_requests; ++i) {
+    // Phase is a function of the current timestamp, so the trace stays a
+    // single deterministic stream: "on" in even periods, "off" in odd.
+    const auto period =
+        static_cast<std::int64_t>(t / options.burst_period_seconds);
+    const double rate = (period % 2 == 0)
+                            ? options.rate_rps * options.burst_factor
+                            : options.rate_rps / options.burst_factor;
+    t += exp_gap(rate, rng);
+    trace.push_back(make_request(options, i, t, rng));
+  }
+  return trace;
+}
+
+}  // namespace mpipe::serve

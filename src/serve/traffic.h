@@ -1,0 +1,39 @@
+#pragma once
+/// \file traffic.h
+/// Synthetic open-arrival traces for the serving bench and tests: Poisson
+/// (memoryless, the queueing-theory default) and bursty (on/off phases —
+/// the shape that actually stresses a continuous batcher, because the
+/// burst's backlog is what batch coalescing amortises). Deterministic per
+/// seed, like every other stochastic component in the repo.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "serve/request_queue.h"
+
+namespace mpipe::serve {
+
+struct TrafficOptions {
+  std::int64_t num_requests = 64;
+  double rate_rps = 1000.0;        ///< mean arrival rate, requests/second
+  std::int64_t min_tokens = 1;     ///< per-request token count range
+  std::int64_t max_tokens = 16;
+  std::int64_t d_model = 0;        ///< token width (must match the layer)
+  std::uint64_t seed = 1;
+  // Bursty shape only: `burst_factor`x the mean rate while "on", near-idle
+  // while "off"; phases alternate every `burst_period_seconds`.
+  double burst_factor = 8.0;
+  double burst_period_seconds = 0.01;
+};
+
+/// Exponential inter-arrival gaps at rate_rps; token counts uniform in
+/// [min_tokens, max_tokens]; token values N(0, 1)-ish via random_tokens.
+/// Requests are returned in arrival order with ids 0..n-1.
+std::vector<ServeRequest> poisson_trace(const TrafficOptions& options);
+
+/// On/off modulated Poisson: rate burst_factor * rate_rps during "on"
+/// phases and rate_rps / burst_factor during "off", same marginals
+/// otherwise. Returned in arrival order with ids 0..n-1.
+std::vector<ServeRequest> bursty_trace(const TrafficOptions& options);
+
+}  // namespace mpipe::serve

@@ -250,6 +250,10 @@ CalibrationStatus try_apply_calibration_files(
       config = apply_comm_calibration(std::move(config), std::move(curve),
                                       comm_required_lo, comm_required_hi);
       status.comm_loaded = true;
+      // Hand the caller the installed curve's clamp counters: config is
+      // copied into the cluster, but the counters are shared, so this
+      // pointer keeps reporting on the curve the run actually consults.
+      status.comm_clamps = config.comm_curve.clamps;
       detail << "comm: calibrated from " << comm_path;
     } else {
       detail << "comm: " << comm_path << " knots [" << curve.min_bytes()

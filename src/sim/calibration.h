@@ -8,6 +8,7 @@
 /// fit/load/apply functions here are deterministic and unit-tested.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,13 @@ struct CalibrationStatus {
   bool gemm_loaded = false;
   bool comm_loaded = false;
   std::string detail;
+  /// Clamp counters of the installed comm curve (null when comm_loaded is
+  /// false). The pointer aliases the live curve's counters, so reading it
+  /// *after* a run reports how often that run's payloads fell outside the
+  /// measured sweep — the tiny-micro-batch serving case the coverage check
+  /// cannot reject up front, because the executed batch mix is unknown at
+  /// load time.
+  std::shared_ptr<const CommClampStats> comm_clamps;
 };
 
 /// Directories searched for the committed CALIBRATION_*.csv files:

@@ -108,7 +108,13 @@ double CommBandwidthCurve::efficiency_at(std::uint64_t b) const {
 double CommBandwidthCurve::efficiency_at(std::uint64_t b, double peak) const {
   // Clamp to the knot span: a payload below the sweep uses the front
   // knot's efficiency, one above extrapolates at the back knot's average
-  // rate — both keep predicted seconds monotone in bytes.
+  // rate — both keep predicted seconds monotone in bytes. Either way the
+  // prediction is extrapolation, not measurement, so record the event.
+  if (b < min_bytes()) {
+    clamps->below.fetch_add(1, std::memory_order_relaxed);
+  } else if (b > max_bytes()) {
+    clamps->above.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::uint64_t bc = std::min(std::max(b, min_bytes()), max_bytes());
   const double rate = static_cast<double>(bc) / eval(bc);
   return std::min(1.0, rate / peak);

@@ -7,12 +7,33 @@
 /// device — the effect behind Fig 2's utilisation track and the n-too-large
 /// penalty in Fig 12).
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/topology.h"
 
 namespace mpipe::sim {
+
+/// Running tally of payloads that consulted a CommBandwidthCurve outside
+/// its measured knot span and were clamped to an end knot. Below-range
+/// clamps matter most: a serving workload batching a handful of tokens
+/// produces AllToAll payloads smaller than anything the calibration sweep
+/// measured, and before these counters existed that extrapolation was
+/// silent (the value is still the front knot's efficiency — the counters
+/// only make the event observable). Shared by every copy of the curve via
+/// shared_ptr, so counts survive the config copies taken by CostModel and
+/// Cluster; increments are relaxed atomics (hot path, order irrelevant).
+struct CommClampStats {
+  std::atomic<std::uint64_t> below{0};  ///< payload < front knot
+  std::atomic<std::uint64_t> above{0};  ///< payload > back knot
+
+  std::uint64_t total() const {
+    return below.load(std::memory_order_relaxed) +
+           above.load(std::memory_order_relaxed);
+  }
+};
 
 /// Piecewise-linear measured GEMM efficiency, rows -> efficiency in
 /// (0, 1]. Fitted from real kernel timings (see sim/calibration.h and
@@ -73,11 +94,16 @@ struct CommBandwidthCurve {
 
   /// Achieved fraction of peak_rate() at `b`, in (0, 1]. Payloads outside
   /// the knot span clamp to the end knots' efficiency, which extrapolates
-  /// predicted seconds linearly at the end-segment average rate. The
-  /// two-arg form takes a precomputed peak_rate() so hot callers skip the
-  /// per-call knot scan.
+  /// predicted seconds linearly at the end-segment average rate — and
+  /// count a clamp event in `clamps` so running off the measured sweep is
+  /// observable (see CommClampStats). The two-arg form takes a precomputed
+  /// peak_rate() so hot callers skip the per-call knot scan.
   double efficiency_at(std::uint64_t b) const;
   double efficiency_at(std::uint64_t b, double peak) const;
+
+  /// Clamp-event counters, shared across copies of this curve (CostModel
+  /// and Cluster copy their configs; the counts must not fork with them).
+  std::shared_ptr<CommClampStats> clamps = std::make_shared<CommClampStats>();
 
   /// Structural checks (ascending bytes, positive non-decreasing seconds).
   /// Throws CheckError with a clear message.

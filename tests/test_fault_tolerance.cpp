@@ -451,9 +451,9 @@ TEST(FaultTolerantTrainer, ChaosRunConvergesBitwiseIdenticalToCleanRun) {
   inject.corrupt_payload_prob = 1.0;
   inject.max_corruptions = 1;
   // Aim the one NaN at a combine destination ("R*"), which feeds the loss
-  // directly. A NaN below the expert ReLU is flushed to zero by the max —
-  // silent corruption no finiteness scan can see (the SDC caveat is
-  // documented on FaultInjectionConfig::corrupt_label_filter).
+  // directly so the numerics guard sees it. A NaN below the expert ReLU
+  // would be flushed to zero by the max and needs the boundary scan
+  // instead (scan_payloads — exercised by the PayloadScan tests below).
   inject.corrupt_label_filter = "R";
   inject.retry.backoff_seconds = 1e-6;
 
@@ -481,6 +481,58 @@ TEST(FaultTolerantTrainer, ChaosRunConvergesBitwiseIdenticalToCleanRun) {
   EXPECT_GE(m.recovery().rollbacks, 1u);
   EXPECT_GE(m.recovery().checkpoints_taken, 1u);
   EXPECT_TRUE(m.recovery().any_recovery());
+}
+
+TEST(PayloadScan, DetectsBelowReluCorruptionAndReplaysBitwiseClean) {
+  // The SDC hole the scan closes: a NaN injected into a dispatch
+  // destination ("S*" — the expert's input) is flushed to zero by the
+  // ReLU, so neither the numerics guard nor the loss ever sees it. With
+  // scan_payloads on, the boundary scan raises a TransientError at the
+  // comm op itself; the step-replay ladder replays the step (the one-shot
+  // corruption budget is spent), and the committed losses must be bitwise
+  // identical to a fault-free run.
+  const int kSteps = 2;
+  const auto clean = run_losses(kSteps, nullptr, nullptr, nullptr);
+
+  FaultInjectionConfig inject;
+  inject.corrupt_payload_prob = 1.0;
+  inject.max_corruptions = 1;
+  inject.corrupt_label_filter = "S";  // dispatch: below the expert ReLU
+  inject.scan_payloads = true;
+  inject.retry.backoff_seconds = 1e-6;
+  runtime::TrainingMetrics m;
+  const auto scanned = run_losses(kSteps, nullptr, &inject, &m);
+
+  ASSERT_EQ(clean.size(), scanned.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i], scanned[i]) << "step " << i;
+  }
+  EXPECT_EQ(m.recovery().corruptions_injected, 1u);
+  EXPECT_GE(m.recovery().corruptions_detected, 1u);
+  EXPECT_GE(m.recovery().transient_step_retries, 1u);
+}
+
+TEST(PayloadScan, OffByDefaultTheSameCorruptionIsSilent) {
+  // Control for the test above: identical injection with the scan off.
+  // The run completes with finite losses and zero detections — the
+  // corruption was absorbed by the ReLU flush, which is exactly the
+  // silent-data-corruption mode the scan exists to surface.
+  const int kSteps = 2;
+  const auto clean = run_losses(kSteps, nullptr, nullptr, nullptr);
+
+  FaultInjectionConfig inject;
+  inject.corrupt_payload_prob = 1.0;
+  inject.max_corruptions = 1;
+  inject.corrupt_label_filter = "S";
+  runtime::TrainingMetrics m;
+  const auto silent = run_losses(kSteps, nullptr, &inject, &m);
+
+  EXPECT_EQ(m.recovery().corruptions_injected, 1u);
+  EXPECT_EQ(m.recovery().corruptions_detected, 0u);
+  EXPECT_EQ(m.recovery().transient_step_retries, 0u);
+  for (const double loss : silent) EXPECT_TRUE(std::isfinite(loss));
+  // The math silently diverged from the clean run — nobody noticed.
+  EXPECT_NE(clean[0], silent[0]);
 }
 
 TEST(FaultTolerantTrainer, ExhaustedRollbackBudgetAbortsWithDiagnostics) {

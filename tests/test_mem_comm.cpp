@@ -112,12 +112,20 @@ TEST(HostStaging, RoundTripIsByteExact) {
   EXPECT_EQ(staging.bytes_stored(), 0u);
 }
 
-TEST(HostStaging, OverwriteAdjustsBytes) {
+TEST(HostStaging, CollisionThrowsUnlessOverwriteAllowed) {
   mem::HostStaging staging;
   staging.store(0, "k", Tensor(Shape{10}));
-  staging.store(0, "k", Tensor(Shape{20}));
-  EXPECT_EQ(staging.bytes_stored(), 80u);
-  staging.clear_device(0);
+  // A silent overwrite used to mask double-stash bugs; a collision is now
+  // loud unless the caller says replacement is deliberate.
+  EXPECT_THROW(staging.store(0, "k", Tensor(Shape{20})), CheckError);
+  EXPECT_EQ(staging.bytes_stored(), 40u);  // original entry untouched
+  staging.store(0, "k", Tensor(Shape{20}), /*allow_overwrite=*/true);
+  EXPECT_EQ(staging.bytes_stored(), 80u);  // byte accounting follows
+  // Distinct keys and devices never collide.
+  staging.store(0, "k2", Tensor(Shape{5}));
+  staging.store(1, "k", Tensor(Shape{5}));
+  EXPECT_EQ(staging.entries(), 3u);
+  staging.clear();
   EXPECT_EQ(staging.entries(), 0u);
 }
 
