@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "moe/expert.h"
 #include "runtime/adam.h"
+#include "tensor/quant.h"
 #include "tensor/random_init.h"
 
 namespace {
@@ -77,6 +78,29 @@ void BM_GatherSpansMemcpy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(moved));
 }
 BENCHMARK(BM_GatherSpansMemcpy)->Args({512, 256})->Args({2048, 16})->Args({8192, 1024});
+
+void BM_GatherSpansBf16(benchmark::State& state) {
+  // Payload packing in the bf16 wire format: gather the spans, then round
+  // the packed rows through bf16 — what a dispatch alltoall's payload
+  // staging costs when compute_dtype is kBF16. items_per_second counts the
+  // *wire* bytes (half the fp32 gather's), so the rate is directly
+  // comparable against BM_GatherSpans on the payload-reduction axis.
+  const std::int64_t rows = state.range(0);
+  const std::int64_t cols = state.range(1);
+  Rng rng(11);
+  Tensor buf(Shape{rows, cols});
+  init_normal(buf, rng);
+  const moe::RowSpanList spans = make_spans(rows, 16);
+  std::uint64_t moved = 0;
+  for (auto _ : state) {
+    Tensor packed = moe::gather_spans(buf, spans);
+    round_through_bf16(packed.data(), packed.numel());
+    benchmark::DoNotOptimize(packed.data());
+    moved += quantized_bytes(moe::span_rows(spans), cols, DType::kBF16);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(moved));
+}
+BENCHMARK(BM_GatherSpansBf16)->Args({512, 256})->Args({8192, 1024});
 
 void BM_ScatterSpans(benchmark::State& state) {
   const std::int64_t rows = state.range(0);

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "tensor/random_init.h"
 
 namespace {
@@ -154,6 +155,47 @@ BENCHMARK(BM_GemmFFN)
     ->Args({64, 64, 256})
     ->Args({256, 256, 1024})
     ->Args({512, 1024, 4096});
+
+// ---- mixed-precision B operand (pack-time dequant) -------------------------
+
+/// Quantized-weight GEMM at the FFN1 shape: identical compute core, the B
+/// panels dequantize bf16/int8 -> fp32 at pack time. Reported GFLOP/s vs
+/// BM_GemmBiasReluFused is the pack-dequant overhead; bytes touched on the
+/// weight stream halve (bf16) or quarter (int8).
+template <DType kDt>
+void run_gemm_quant(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{s, s}), b(Shape{s, s}), bias(Shape{s}), c(Shape{s, s});
+  init_normal(a, rng);
+  init_normal(b, rng);
+  init_normal(bias, rng);
+  const QuantizedMatrix q = quantize_matrix(b, kDt);
+  QuantView v;
+  v.dtype = kDt;
+  v.rows = q.rows;
+  v.cols = q.cols;
+  v.data = kDt == DType::kBF16 ? static_cast<const void*>(q.bf16.data())
+                               : static_cast<const void*>(q.i8.data());
+  v.row_scales = kDt == DType::kI8 ? q.scales.data() : nullptr;
+  for (auto _ : state) {
+    gemm_bias_act_q(a, v, bias, GemmEpilogue::kBiasReLU, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  flops_counter(state, s, s, s);
+  state.counters["weight_bytes"] =
+      static_cast<double>(quantized_bytes(s, s, kDt));
+}
+
+void BM_GemmBf16(benchmark::State& state) {
+  run_gemm_quant<DType::kBF16>(state);
+}
+BENCHMARK(BM_GemmBf16)->Arg(512)->Arg(1024);
+
+void BM_GemmInt8(benchmark::State& state) {
+  run_gemm_quant<DType::kI8>(state);
+}
+BENCHMARK(BM_GemmInt8)->Arg(512)->Arg(1024);
 
 // ---- fused epilogue vs separate passes ------------------------------------
 

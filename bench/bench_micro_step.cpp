@@ -23,7 +23,8 @@ struct StepHarness {
   runtime::Trainer trainer;
 
   static core::MoELayerOptions layer_options(bool parallel,
-                                             bool profile = false) {
+                                             bool profile = false,
+                                             DType dtype = DType::kF32) {
     core::MoELayerOptions o;
     o.d_model = 64;
     o.d_hidden = 256;
@@ -33,6 +34,7 @@ struct StepHarness {
     o.strategy = core::ReuseStrategy::kS1;
     o.parallel_execution = parallel;
     o.profile_execution = profile;
+    o.compute_dtype = dtype;
     o.seed = 13;
     return o;
   }
@@ -49,8 +51,9 @@ struct StepHarness {
     return t;
   }
 
-  explicit StepHarness(bool parallel, bool profile = false)
-      : layer(cluster, layer_options(parallel, profile)),
+  explicit StepHarness(bool parallel, bool profile = false,
+                       DType dtype = DType::kF32)
+      : layer(cluster, layer_options(parallel, profile, dtype)),
         trainer(layer, trainer_options()) {}
 };
 
@@ -103,6 +106,56 @@ BENCHMARK(BM_TrainStepProfiled)
     ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---- mixed-precision step rows --------------------------------------------
+// One row per compute_dtype, serial executor, identical workload. steps/s
+// documents the quantize/dequantize cost on the hot path; the counters are
+// the paper's reduction axes, read off the StepReport of the last step:
+// alltoall_payload_bytes (Fig-10 — bf16 is exactly half the f32 row, int8
+// a quarter plus one fp32 scale per row) and expert_weight_bytes /
+// peak_activation_bytes (Fig-9 — quantized weight copies and wire-format
+// payload rings on the busiest device).
+void run_steps_mixed(benchmark::State& state, DType dtype) {
+  ThreadPool::reset_shared(1);
+  StepHarness harness(/*parallel=*/false, /*profile=*/false, dtype);
+  harness.trainer.train_step();  // warm up: buffers, staging, pool
+  // Counters come from the *first* step: the router is fp32 for every
+  // dtype, so step 1's routing — and with it the busiest sender's row
+  // count — is identical across the three rows, and the byte ratios read
+  // as pure dtype effects (later steps' trainings diverge numerically and
+  // with them the routing).
+  const core::StepReport r = harness.layer.last_report();
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.trainer.train_step());
+    ++steps;
+  }
+  state.SetItemsProcessed(steps);
+  state.counters["alltoall_payload_bytes"] =
+      static_cast<double>(r.alltoall_payload_bytes);
+  state.counters["expert_weight_bytes"] =
+      static_cast<double>(r.expert_weight_bytes);
+  state.counters["peak_activation_bytes"] =
+      static_cast<double>(r.memory.activations);
+  state.counters["peak_total_bytes"] =
+      static_cast<double>(r.memory.total_peak);
+  ThreadPool::reset_shared(0);
+}
+
+void BM_TrainStepMixedF32(benchmark::State& state) {
+  run_steps_mixed(state, DType::kF32);
+}
+BENCHMARK(BM_TrainStepMixedF32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_TrainStepMixedBf16(benchmark::State& state) {
+  run_steps_mixed(state, DType::kBF16);
+}
+BENCHMARK(BM_TrainStepMixedBf16)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_TrainStepMixedInt8(benchmark::State& state) {
+  run_steps_mixed(state, DType::kI8);
+}
+BENCHMARK(BM_TrainStepMixedInt8)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -17,13 +17,14 @@ namespace {
 
 using namespace mpipe;
 
-core::MoELayerOptions layer_options() {
+core::MoELayerOptions layer_options(DType dtype = DType::kF32) {
   core::MoELayerOptions o;
   o.d_model = 64;
   o.d_hidden = 256;
   o.num_experts = 4;
   o.num_partitions = 2;  // fixed n: no search noise in the timing
   o.memory_reuse = true;
+  o.compute_dtype = dtype;
   o.seed = 13;
   return o;
 }
@@ -41,9 +42,10 @@ serve::TrafficOptions traffic_options() {
 
 void run_serve(benchmark::State& state,
                std::vector<serve::ServeRequest> (*make_trace)(
-                   const serve::TrafficOptions&)) {
+                   const serve::TrafficOptions&),
+               DType dtype = DType::kF32) {
   sim::Cluster cluster = sim::Cluster::dgx_a100_pod(1, 4);
-  core::MoELayer layer(cluster, layer_options());
+  core::MoELayer layer(cluster, layer_options(dtype));
   serve::ServerOptions sopt;
   sopt.slo.max_tokens_per_device = 64;
   const auto trace = make_trace(traffic_options());
@@ -64,6 +66,14 @@ void run_serve(benchmark::State& state,
   state.counters["p99_ms"] = p99 * 1e3;
   state.counters["virtual_tokens_per_s"] = virtual_tps;
   state.counters["mean_batch_tokens"] = batch_tokens;
+  // Reduction axes of the last dispatch (Fig-10 payload / Fig-9 weights):
+  // forward_only fills the same StepReport fields training does, so the
+  // bf16 row's bytes read directly against the f32 rows above it.
+  const core::StepReport& r = layer.last_report();
+  state.counters["alltoall_payload_bytes"] =
+      static_cast<double>(r.alltoall_payload_bytes);
+  state.counters["expert_weight_bytes"] =
+      static_cast<double>(r.expert_weight_bytes);
 }
 
 // UseRealTime: percentile math and the batcher run on the main thread but
@@ -77,6 +87,14 @@ void BM_ServeBursty(benchmark::State& state) {
   run_serve(state, serve::bursty_trace);
 }
 BENCHMARK(BM_ServeBursty)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// The Poisson trace served in bf16 wire/storage format: tokens/s vs
+/// BM_ServePoisson is the serving-side cost of the reduced dtype, the
+/// byte counters its payload/weight savings.
+void BM_ServePoissonBf16(benchmark::State& state) {
+  run_serve(state, serve::poisson_trace, DType::kBF16);
+}
+BENCHMARK(BM_ServePoissonBf16)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

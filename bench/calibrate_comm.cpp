@@ -88,22 +88,32 @@ int main(int argc, char** argv) {
                          "[devices >= 2]\n");
     return 2;
   }
-  const std::int64_t row_bytes = cols * static_cast<std::int64_t>(sizeof(float));
-
   std::printf("== calibrate_comm: %d-way apply_segments exchange, %lld "
               "floats/row ==\n",
               devices, static_cast<long long>(cols));
   std::vector<sim::CommSample> samples;
   double prev_seconds = 0.0;
-  // Busiest-sender payloads 4KB..64MB in powers of two — spans the range
-  // the granularity search presents to the comm model (asserted below).
-  for (std::uint64_t payload = 4 * KiB; payload <= 64 * MiB; payload *= 2) {
-    // Wide rows can exceed the smallest sweep payloads; a sender always
+  // Busiest-sender payloads 256B..64MB in powers of two — spans the range
+  // the granularity search presents to the comm model (asserted below)
+  // *and* the serving tier's single-request dispatches (a 1-token row at
+  // d_model 64 is 256 B; the SLO ladder's small rungs live well below the
+  // old 4 KiB floor, where launch latency dominates and the curve must
+  // say so).
+  for (std::uint64_t payload = 256; payload <= 64 * MiB; payload *= 2) {
+    // Below one full row the exchange narrows its rows instead (the curve
+    // is fit in bytes; row width does not enter the model), so the small
+    // sweep points measure genuinely small payloads. A sender always
     // ships at least one row (the fit keeps the fastest duplicate if two
     // sweep points collapse onto the same actual payload).
+    const std::int64_t pcols = std::min<std::int64_t>(
+        cols, std::max<std::int64_t>(
+                  1, static_cast<std::int64_t>(payload) /
+                         static_cast<std::int64_t>(sizeof(float))));
+    const std::int64_t prow_bytes =
+        pcols * static_cast<std::int64_t>(sizeof(float));
     const std::int64_t send_rows = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(payload) / row_bytes);
-    Exchange ex = build_exchange(devices, send_rows, cols);
+        1, static_cast<std::int64_t>(payload) / prow_bytes);
+    Exchange ex = build_exchange(devices, send_rows, pcols);
     sim::CommSample s;
     s.bytes = comm::max_bytes_sent(ex.segments);
     s.seconds = time_exchange_seconds(ex.segments);

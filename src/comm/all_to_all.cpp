@@ -8,10 +8,12 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "tensor/quant.h"
 
 namespace mpipe::comm {
 
-void apply_segments(const std::vector<RowSegment>& segments) {
+void apply_segments(const std::vector<RowSegment>& segments,
+                    DType payload_dtype) {
   for (const RowSegment& seg : segments) {
     if (seg.rows == 0) continue;
     MPIPE_CHECK(seg.src != nullptr && seg.dst != nullptr,
@@ -24,20 +26,24 @@ void apply_segments(const std::vector<RowSegment>& segments) {
                 "segment source rows out of bounds");
     MPIPE_CHECK(seg.dst_row >= 0 && seg.dst_row + seg.rows <= seg.dst->dim(0),
                 "segment destination rows out of bounds");
-    std::memcpy(seg.dst->data() + seg.dst_row * cols,
-                seg.src->data() + seg.src_row * cols,
+    float* dst = seg.dst->data() + seg.dst_row * cols;
+    std::memcpy(dst, seg.src->data() + seg.src_row * cols,
                 static_cast<std::size_t>(seg.rows * cols) * sizeof(float));
+    // Reduced wire format: the copy delivers what a bf16/int8 link would,
+    // by rounding the destination rows in place. kF32 stays byte-exact.
+    round_through_dtype(dst, seg.rows, cols, payload_dtype);
   }
 }
 
 void apply_segments_guarded(const std::vector<RowSegment>& segments,
                             const FaultInjector* injector, std::uint64_t key,
-                            std::string_view label) {
+                            std::string_view label, DType payload_dtype) {
   if (injector == nullptr) {
-    apply_segments(segments);
+    apply_segments(segments, payload_dtype);
     return;
   }
-  run_comm_guarded(injector, key, [&] { apply_segments(segments); });
+  run_comm_guarded(injector, key,
+                   [&] { apply_segments(segments, payload_dtype); });
   // Post-copy payload corruption: flip one destination float to NaN, as a
   // flaky link would. Detection is split by where the NaN lands: a combine
   // destination feeds the loss, so the end-of-step numerics guard sees it;
@@ -85,13 +91,13 @@ void apply_segments_guarded(const std::vector<RowSegment>& segments,
   }
 }
 
-std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments) {
+std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments,
+                             DType payload_dtype) {
   std::map<int, std::uint64_t> sent;
   for (const RowSegment& seg : segments) {
     if (seg.src_device == seg.dst_device) continue;  // local copy is free
-    sent[seg.src_device] += static_cast<std::uint64_t>(seg.rows) *
-                            static_cast<std::uint64_t>(seg.src->dim(1)) *
-                            sizeof(float);
+    sent[seg.src_device] +=
+        quantized_bytes(seg.rows, seg.src->dim(1), payload_dtype);
   }
   std::uint64_t mx = 0;
   for (const auto& [device, bytes] : sent) mx = std::max(mx, bytes);
@@ -99,7 +105,7 @@ std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments) {
 }
 
 double alltoall_duration(const ProcessGroup& group,
-                         std::uint64_t payload_bytes) {
+                         std::uint64_t payload_bytes, DType payload_dtype) {
   // alltoall_seconds models a symmetric exchange of bytes_per_device with a
   // (P-1)/P factor; the payload already excludes the self share, so
   // compensate.
@@ -109,8 +115,8 @@ double alltoall_duration(const ProcessGroup& group,
   const double p = static_cast<double>(group.size());
   const std::uint64_t bytes_per_device = static_cast<std::uint64_t>(
       static_cast<double>(payload_bytes) * p / (p - 1.0));
-  return group.cluster().cost_model().alltoall_seconds(bytes_per_device,
-                                                       group.devices());
+  return group.cluster().cost_model().alltoall_seconds(
+      bytes_per_device, group.devices(), payload_dtype);
 }
 
 void declare_segment_accesses(sim::Op& op,
@@ -126,8 +132,9 @@ void declare_segment_accesses(sim::Op& op,
 
 int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
              std::vector<RowSegment> segments, std::string label,
-             std::vector<int> deps) {
-  const double seconds = alltoall_duration(group, max_bytes_sent(segments));
+             std::vector<int> deps, DType payload_dtype) {
+  const double seconds = alltoall_duration(
+      group, max_bytes_sent(segments, payload_dtype), payload_dtype);
   auto moved = std::make_shared<std::vector<RowSegment>>(std::move(segments));
   auto injector = group.cluster().fault_injector_shared();
   const std::uint64_t key = injector ? injector->reserve_key() : 0;
@@ -138,8 +145,8 @@ int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
   op.devices = group.devices();
   op.base_seconds = seconds;
   op.deps = std::move(deps);
-  op.fn = [moved, injector, key, lbl = op.label] {
-    apply_segments_guarded(*moved, injector.get(), key, lbl);
+  op.fn = [moved, injector, key, lbl = op.label, payload_dtype] {
+    apply_segments_guarded(*moved, injector.get(), key, lbl, payload_dtype);
   };
   declare_segment_accesses(op, *moved);
   // A serving-sized batch can leave a partition with zero rows everywhere:
@@ -152,8 +159,9 @@ int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
 
 int alltoall_timed(sim::OpGraph& graph, const ProcessGroup& group,
                    std::uint64_t payload_bytes, std::string label,
-                   std::vector<int> deps) {
-  const double seconds = alltoall_duration(group, payload_bytes);
+                   std::vector<int> deps, DType payload_dtype) {
+  const double seconds =
+      alltoall_duration(group, payload_bytes, payload_dtype);
   return graph.add(std::move(label), sim::OpCategory::kAllToAll,
                    sim::StreamKind::kComm, group.devices(), seconds,
                    std::move(deps), nullptr);

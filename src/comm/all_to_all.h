@@ -12,6 +12,7 @@
 
 #include "comm/process_group.h"
 #include "sim/op_graph.h"
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
 namespace mpipe {
@@ -32,8 +33,14 @@ struct RowSegment {
   std::int64_t rows = 0;
 };
 
-/// Executes all segments functionally and copies them byte-exactly.
-void apply_segments(const std::vector<RowSegment>& segments);
+/// Executes all segments functionally. kF32 copies byte-exactly; a
+/// reduced `payload_dtype` additionally rounds the copied destination
+/// rows through the wire format (bf16 round-to-nearest-even, int8 with a
+/// per-row absmax scale) — the buffers stay fp32, the values carry
+/// exactly the precision a real bf16/int8 link would deliver. Non-finite
+/// payloads survive the rounding, so corruption stays detectable.
+void apply_segments(const std::vector<RowSegment>& segments,
+                    DType payload_dtype = DType::kF32);
 
 /// apply_segments under the cluster's fault-injection schedule: optional
 /// straggler delay, injected TransientErrors with bounded deterministic
@@ -49,7 +56,8 @@ void apply_segments(const std::vector<RowSegment>& segments);
 /// against the injector's corrupt_label_filter.
 void apply_segments_guarded(const std::vector<RowSegment>& segments,
                             const FaultInjector* injector, std::uint64_t key,
-                            std::string_view label);
+                            std::string_view label,
+                            DType payload_dtype = DType::kF32);
 
 /// Appends the hazard declarations a segment table implies to `op`: each
 /// segment reads its source rows and writes its destination rows. Zero-row
@@ -58,27 +66,32 @@ void apply_segments_guarded(const std::vector<RowSegment>& segments,
 void declare_segment_accesses(sim::Op& op,
                               const std::vector<RowSegment>& segments);
 
-/// Bytes the busiest participant sends (drives the collective's duration).
-/// Self-device segments are local copies and count as free.
-std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments);
+/// Bytes the busiest participant sends (drives the collective's duration),
+/// counted in the wire format: dtype-width elements, plus one fp32 scale
+/// per row for int8. Self-device segments are local copies and count as
+/// free.
+std::uint64_t max_bytes_sent(const std::vector<RowSegment>& segments,
+                             DType payload_dtype = DType::kF32);
 
 /// Modelled duration of a fused AllToAll where the busiest participant
 /// sends `payload_bytes` to its peers (its local share already excluded —
 /// the inverse of alltoall_seconds' (P-1)/P payload factor). Degenerate
 /// groups (size <= 1) pay only the collective launch latency.
 double alltoall_duration(const ProcessGroup& group,
-                         std::uint64_t payload_bytes);
+                         std::uint64_t payload_bytes,
+                         DType payload_dtype = DType::kF32);
 
 /// Appends one fused AllToAll op over the group's comm streams. Returns the
 /// op id. Row counts may be ragged across pairs (AllToAll-v semantics).
 int alltoall(sim::OpGraph& graph, const ProcessGroup& group,
              std::vector<RowSegment> segments, std::string label,
-             std::vector<int> deps);
+             std::vector<int> deps, DType payload_dtype = DType::kF32);
 
 /// Timing-only AllToAll: `payload_bytes` is what the busiest participant
 /// sends to peers (excluding its local share); no functional closure.
 int alltoall_timed(sim::OpGraph& graph, const ProcessGroup& group,
                    std::uint64_t payload_bytes, std::string label,
-                   std::vector<int> deps);
+                   std::vector<int> deps,
+                   DType payload_dtype = DType::kF32);
 
 }  // namespace mpipe::comm

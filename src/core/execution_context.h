@@ -13,6 +13,7 @@
 #include "mem/device_allocator.h"
 #include "moe/dispatcher.h"
 #include "moe/gating.h"
+#include "tensor/dtype.h"
 
 namespace mpipe::core {
 
@@ -53,6 +54,14 @@ struct MoeStepContext {
   moe::DispatchPlan plan;
   std::int64_t d_model = 0;
   std::int64_t d_hidden = 0;
+  /// Wire/storage format of expert weights and dispatch/combine payloads
+  /// (MoELayerOptions::compute_dtype). kF32 is the exact legacy path.
+  DType dtype = DType::kF32;
+  /// Sum over every AllToAll emitted for this step of the bytes its
+  /// busiest participant sends, counted in `dtype`'s wire format —
+  /// accumulated at graph-build time, surfaced as
+  /// StepReport::alltoall_payload_bytes (the Fig-10 payload axis).
+  std::uint64_t comm_payload_bytes = 0;
   /// Inference step: no backward will ever consume this context, so the
   /// schedule builder emits no offload ops (nothing needs restoring) and
   /// the ring slots are plain working memory, not a backward stash. The

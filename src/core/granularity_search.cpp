@@ -53,12 +53,11 @@ GranularitySearcher::alltoall_payload_range(std::int64_t min_tokens,
                                             std::int64_t max_tokens,
                                             const std::vector<int>& candidates,
                                             std::int64_t d_model,
-                                            int group_size) {
+                                            int group_size, DType dtype) {
   MPIPE_EXPECTS(d_model >= 1, "bad d_model");
   MPIPE_EXPECTS(group_size >= 2, "payload range needs >= 2 participants");
   const auto rows = row_range(min_tokens, max_tokens, candidates);
-  const std::uint64_t row_bytes =
-      static_cast<std::uint64_t>(d_model) * sizeof(float);
+  const std::uint64_t row_bytes = quantized_bytes(1, d_model, dtype);
   const std::uint64_t p = static_cast<std::uint64_t>(group_size);
   // Balanced exchange: the busiest sender ships (P-1)/P of its micro-batch.
   const std::uint64_t lo = std::max<std::uint64_t>(

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/range_set.h"
+#include "tensor/dtype.h"
 
 namespace mpipe::core {
 
@@ -90,8 +91,9 @@ class GranularitySearcher {
 
   /// [smallest, largest] AllToAll payload (bytes the busiest participant
   /// sends) Algorithm 1 can present to the comm cost model for batches in
-  /// [min_tokens, max_tokens] over `candidates`, with `d_model`-wide fp32
-  /// rows exchanged across `group_size` devices. The lower bound is the
+  /// [min_tokens, max_tokens] over `candidates`, with `d_model`-wide rows
+  /// exchanged across `group_size` devices in `dtype`'s wire format
+  /// (dtype-width elements plus one fp32 scale per int8 row). The lower bound is the
   /// balanced exchange of the smallest probed micro-batch (each device
   /// keeps its 1/P share); the upper bound is full skew of the largest
   /// (every row leaves the device). Mostly-local routings fall below the
@@ -101,7 +103,7 @@ class GranularitySearcher {
   static std::pair<std::uint64_t, std::uint64_t> alltoall_payload_range(
       std::int64_t min_tokens, std::int64_t max_tokens,
       const std::vector<int>& candidates, std::int64_t d_model,
-      int group_size);
+      int group_size, DType dtype = DType::kF32);
 
  private:
   std::vector<int> candidates_;

@@ -20,7 +20,17 @@ std::uint64_t model_state_bytes(const MoELayerOptions& options,
       static_cast<std::uint64_t>(experts_per_device) *
           (2ull * options.d_model * options.d_hidden + options.d_hidden +
            options.d_model);
-  return 4ull * params * sizeof(float);
+  std::uint64_t bytes = 4ull * params * sizeof(float);
+  if (options.compute_dtype != DType::kF32) {
+    // The quantized W1/W2 side copies the forward path reads live next to
+    // the fp32 masters (which the optimizer still owns).
+    bytes += static_cast<std::uint64_t>(experts_per_device) *
+             (quantized_bytes(options.d_model, options.d_hidden,
+                              options.compute_dtype) +
+              quantized_bytes(options.d_hidden, options.d_model,
+                              options.compute_dtype));
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -42,14 +52,19 @@ sim::CalibrationStatus install_calibration(sim::Cluster& cluster,
       min_tokens, max_tokens, candidates, epd);
   std::pair<std::uint64_t, std::uint64_t> payloads{0, 0};
   if (cluster.num_devices() >= 2) {
+    // Payloads are counted in the layer's wire format: a bf16 layer
+    // presents half the bytes, so the coverage check must use the range
+    // the probes will actually consult.
     payloads = GranularitySearcher::alltoall_payload_range(
         min_tokens, max_tokens, candidates, options.d_model,
-        cluster.num_devices());
+        cluster.num_devices(), options.compute_dtype);
   }
   sim::CostModelConfig config = cluster.cost_model().config();
   sim::CalibrationStatus status = sim::try_apply_calibration_files(
-      config, rows.first, rows.second, payloads.first, payloads.second);
-  if (status.gemm_loaded || status.comm_loaded) {
+      config, rows.first, rows.second, payloads.first, payloads.second,
+      options.compute_dtype);
+  if (status.gemm_loaded || status.comm_loaded ||
+      status.gemm_dtype_loaded || status.comm_dtype_loaded) {
     cluster.set_cost_config(std::move(config));
   }
   return status;
@@ -101,6 +116,8 @@ MoELayer::MoELayer(sim::Cluster& cluster, MoELayerOptions options)
         experts_[static_cast<std::size_t>(d)].emplace_back(
             options_.d_model, options_.d_hidden, options_.activation,
             expert_rng);
+        experts_[static_cast<std::size_t>(d)].back().set_compute_dtype(
+            options_.compute_dtype);
       }
     }
   }
@@ -150,7 +167,8 @@ LayerRefs MoELayer::refs() {
 int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
   if (!options_.pipeline) return 1;
   if (options_.num_partitions > 0) return options_.num_partitions;
-  const auto& curve = cluster_->cost_model().config().gemm_curve;
+  const auto& curve =
+      cluster_->cost_model().config().gemm_curve_for(options_.compute_dtype);
   if (!curve.empty()) {
     // A measured efficiency curve is loaded: the search must rank
     // candidates from interpolated (not extrapolated) timings, so the
@@ -164,7 +182,8 @@ int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
         experts_per_device());
     curve.validate_covers(range.first, range.second);
   }
-  const auto& comm_curve = cluster_->cost_model().config().comm_curve;
+  const auto& comm_curve =
+      cluster_->cost_model().config().comm_curve_for(options_.compute_dtype);
   if (!comm_curve.empty() && num_devices() >= 2) {
     // Same contract for the comm side: the probe's AllToAll payloads must
     // sit inside the calibrated sweep, not extrapolate past it. Steps that
@@ -174,7 +193,7 @@ int MoELayer::configure_partitions(std::int64_t tokens_per_device) {
     // micro-batches can't silently run off the measured sweep.
     const auto payloads = GranularitySearcher::alltoall_payload_range(
         tokens_per_device, tokens_per_device, options_.candidate_partitions,
-        options_.d_model, num_devices());
+        options_.d_model, num_devices(), options_.compute_dtype);
     comm_curve.validate_covers(payloads.first, payloads.second);
   }
   return searcher_->configure(tokens_per_device);
@@ -213,6 +232,7 @@ double MoELayer::probe_step_seconds(std::int64_t tokens_per_device, int n,
   ctx.strategy = strategy;
   ctx.d_model = options_.d_model;
   ctx.d_hidden = options_.d_hidden;
+  ctx.dtype = options_.compute_dtype;
   ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
                                         experts_per_device(), n, probe_skew_);
   ctx.dev.resize(static_cast<std::size_t>(num_devices()));
@@ -247,6 +267,7 @@ double MoELayer::probe_forward_seconds(std::int64_t tokens_per_device,
   ctx.forward_only = true;
   ctx.d_model = options_.d_model;
   ctx.d_hidden = options_.d_hidden;
+  ctx.dtype = options_.compute_dtype;
   ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
                                         experts_per_device(), n, probe_skew_);
   ctx.dev.resize(static_cast<std::size_t>(num_devices()));
@@ -292,23 +313,27 @@ void MoELayer::setup_forward_buffers(MoeStepContext& ctx) {
         mem::Category::kActivation,
         static_cast<std::uint64_t>(B) * E * sizeof(float));
 
+    // The T_DI / T_DO payload buffers hold dispatch/combine wire rows: a
+    // real device stores them in ctx.dtype, so they are accounted at the
+    // quantized size. T_M is the fp32-accumulating FFN intermediate and
+    // stays full width.
     if (ctx.reuse()) {
       st.tdi.emplace(alloc, "tdi", Shape{cap, M}, depth,
-                     mem::Category::kActivation, mat);
+                     mem::Category::kActivation, mat, ctx.dtype);
       st.tm.emplace(alloc, "tm", Shape{cap, H}, 1,
                     mem::Category::kActivation, mat);
       st.tdo.emplace(alloc, "tdo", Shape{cap, M}, depth,
-                     mem::Category::kActivation, mat);
+                     mem::Category::kActivation, mat, ctx.dtype);
     } else {
       for (int p = 0; p < ctx.n(); ++p) {
         const std::int64_t rows = std::max<std::int64_t>(
             1, ctx.plan.part(p).recv_rows[static_cast<std::size_t>(d)]);
         st.tdi_parts.push_back(alloc.alloc_tensor(
-            Shape{rows, M}, mem::Category::kActivation, mat));
+            Shape{rows, M}, mem::Category::kActivation, mat, ctx.dtype));
         st.tm_parts.push_back(alloc.alloc_tensor(
             Shape{rows, H}, mem::Category::kActivation, mat));
         st.tdo_parts.push_back(alloc.alloc_tensor(
-            Shape{rows, M}, mem::Category::kActivation, mat));
+            Shape{rows, M}, mem::Category::kActivation, mat, ctx.dtype));
       }
     }
   }
@@ -374,14 +399,17 @@ void MoELayer::setup_backward_buffers(MoeStepContext& ctx) {
       // post-saving temp footprint 2BM + 4BM/n + BH/n exactly.
       st.d_ys.emplace(alloc, "d_ys", Shape{chunk, M}, ctx.n(),
                       mem::Category::kTempBuffer, mat);
+      // d_T_DO / d_T_DI carry gradient wire payloads (received from S' /
+      // shipped by R'), so — like T_DI / T_DO — they are accounted in
+      // ctx.dtype. d_ys and d_T_M stay fp32 (local accumulation).
       st.d_tdo.emplace(alloc, "d_tdo", Shape{cap, M}, depth,
-                       mem::Category::kTempBuffer, mat);
+                       mem::Category::kTempBuffer, mat, ctx.dtype);
       // The d_T_M gradients live inside the fused expert-backward kernel;
       // the ring is accounted (Eq 5) but never addressed.
       st.d_tm.emplace(alloc, "d_tm", Shape{cap, H}, 1,
                       mem::Category::kTempBuffer, /*materialize=*/false);
       st.d_tdi.emplace(alloc, "d_tdi", Shape{cap, M}, depth,
-                       mem::Category::kTempBuffer, mat);
+                       mem::Category::kTempBuffer, mat, ctx.dtype);
     } else {
       for (int p = 0; p < ctx.n(); ++p) {
         const std::int64_t rows = std::max<std::int64_t>(
@@ -391,12 +419,12 @@ void MoELayer::setup_backward_buffers(MoeStepContext& ctx) {
         st.d_ys_parts.push_back(alloc.alloc_tensor(
             Shape{chunk_rows, M}, mem::Category::kTempBuffer, mat));
         st.d_tdo_parts.push_back(alloc.alloc_tensor(
-            Shape{rows, M}, mem::Category::kTempBuffer, mat));
+            Shape{rows, M}, mem::Category::kTempBuffer, mat, ctx.dtype));
         st.d_tm_parts.push_back(alloc.alloc_tensor(
             Shape{rows, H}, mem::Category::kTempBuffer,
             /*materialize=*/false));
         st.d_tdi_parts.push_back(alloc.alloc_tensor(
-            Shape{rows, M}, mem::Category::kTempBuffer, mat));
+            Shape{rows, M}, mem::Category::kTempBuffer, mat, ctx.dtype));
       }
     }
   }
@@ -430,6 +458,7 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
   ctx_->strategy = strategy;
   ctx_->d_model = options_.d_model;
   ctx_->d_hidden = options_.d_hidden;
+  ctx_->dtype = options_.compute_dtype;
   ctx_->dev.resize(static_cast<std::size_t>(num_devices()));
 
   // Gating runs first (the plan depends on it); the graph still carries a
@@ -449,6 +478,9 @@ std::vector<Tensor> MoELayer::forward(const std::vector<Tensor>& inputs) {
   report_ = StepReport{};
   report_.n_partitions = n;
   report_.strategy = strategy;
+  report_.compute_dtype = ctx_->dtype;
+  report_.alltoall_payload_bytes = ctx_->comm_payload_bytes;
+  report_.expert_weight_bytes = expert_weight_bytes();
   sim::ExecutionProfile profile;
   sim::ExecutionProfile* sink =
       options_.profile_execution ? &profile : nullptr;
@@ -518,6 +550,7 @@ std::vector<Tensor> MoELayer::forward_only(const std::vector<Tensor>& inputs,
     ctx_->forward_only = true;
     ctx_->d_model = options_.d_model;
     ctx_->d_hidden = options_.d_hidden;
+    ctx_->dtype = options_.compute_dtype;
     ctx_->dev.resize(static_cast<std::size_t>(num_devices()));
 
     std::vector<std::vector<std::int64_t>> expert_of;
@@ -535,6 +568,9 @@ std::vector<Tensor> MoELayer::forward_only(const std::vector<Tensor>& inputs,
     report_ = StepReport{};
     report_.n_partitions = n;
     report_.strategy = strategy;
+    report_.compute_dtype = ctx_->dtype;
+    report_.alltoall_payload_bytes = ctx_->comm_payload_bytes;
+    report_.expert_weight_bytes = expert_weight_bytes();
     sim::ExecutionProfile profile;
     sim::ExecutionProfile* sink =
         options_.profile_execution ? &profile : nullptr;
@@ -598,6 +634,8 @@ std::vector<Tensor> MoELayer::backward(
   setup_backward_buffers(*ctx_);
 
   sim::OpGraph graph = builder_.build_backward(*ctx_, refs());
+  // The backward graph's AllToAlls accumulated onto the same counter.
+  report_.alltoall_payload_bytes = ctx_->comm_payload_bytes;
   sim::ExecutionProfile profile;
   sim::ExecutionProfile* sink =
       options_.profile_execution ? &profile : nullptr;
@@ -661,6 +699,7 @@ StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
   ctx.strategy = strategy;
   ctx.d_model = options_.d_model;
   ctx.d_hidden = options_.d_hidden;
+  ctx.dtype = options_.compute_dtype;
   ctx.plan = moe::Dispatcher::synthetic(tokens_per_device, num_devices(),
                                         experts_per_device(), n, skew);
   ctx.dev.resize(static_cast<std::size_t>(num_devices()));
@@ -669,6 +708,8 @@ StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
   StepReport report;
   report.n_partitions = n;
   report.strategy = strategy;
+  report.compute_dtype = ctx.dtype;
+  report.expert_weight_bytes = expert_weight_bytes();
   sim::OpGraph fwd = builder_.build_forward(ctx, LayerRefs{});
   MPIPE_EXPECTS(fwd.is_timing_only(),
                 "timing-only step built a functional graph");
@@ -681,6 +722,7 @@ StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
                 "timing-only step built a functional graph");
   report.backward_timing = cluster_->time_only(bwd);
   report.backward_seconds = report.backward_timing.makespan;
+  report.alltoall_payload_bytes = ctx.comm_payload_bytes;
   report.mean_gpu_utilization =
       combined_utilization(report.forward_timing, report.backward_timing);
 
@@ -689,6 +731,36 @@ StepReport MoELayer::step_timing(std::int64_t tokens_per_device,
   report.memory = max_over_devices(snaps);
   report_ = report;
   return report;
+}
+
+void MoELayer::refresh_quantized_weights() {
+  if (options_.compute_dtype == DType::kF32) return;
+  for (auto& device_experts : experts_) {
+    for (auto& expert : device_experts) expert.refresh_quantized();
+  }
+}
+
+std::uint64_t MoELayer::expert_weight_bytes() const {
+  if (options_.mode != ExecutionMode::kFull) {
+    // Timing-only layers hold no tensors; report the accounted size.
+    if (options_.compute_dtype == DType::kF32) return 0;
+    const std::uint64_t epd =
+        static_cast<std::uint64_t>(options_.num_experts) /
+        static_cast<std::uint64_t>(cluster_->num_devices());
+    return epd * (quantized_bytes(options_.d_model, options_.d_hidden,
+                                  options_.compute_dtype) +
+                  quantized_bytes(options_.d_hidden, options_.d_model,
+                                  options_.compute_dtype));
+  }
+  std::uint64_t peak = 0;
+  for (const auto& device_experts : experts_) {
+    std::uint64_t device_bytes = 0;
+    for (const auto& expert : device_experts) {
+      device_bytes += expert.quantized_weight_bytes();
+    }
+    peak = std::max(peak, device_bytes);
+  }
+  return peak;
 }
 
 std::vector<Tensor*> MoELayer::parameters() {

@@ -45,6 +45,17 @@ struct MoELayerOptions {
   /// Per-device memory capacity in bytes (0 = unlimited).
   std::uint64_t device_capacity_bytes = 0;
 
+  /// Wire/storage format of the expert hot path. kF32 (default) is the
+  /// exact legacy path — bitwise identical results. kBF16 / kI8 store the
+  /// expert weights quantized (fp32 masters kept for the optimizer and
+  /// weight-grad GEMMs) and round every dispatch/combine payload and
+  /// activation offload through the reduced wire format; all GEMMs
+  /// dequantize at pack time and accumulate in fp32. Halves (bf16) or
+  /// quarters (int8, plus one fp32 scale per row) the AllToAll payload
+  /// bytes and the offload/staging residency. The router (gating GEMM and
+  /// its gradient allreduce) always stays fp32.
+  DType compute_dtype = DType::kF32;
+
   /// Effective compute-throughput multiplier (< 1 models the baselines'
   /// CUDA-core kernels; PipeMoE/MPipeMoE use Tensor Cores at 1.0).
   double compute_scale = 1.0;
@@ -176,6 +187,16 @@ class MoELayer {
   int num_devices() const;
   int experts_per_device() const;
   const MoELayerOptions& options() const { return options_; }
+
+  // ---- mixed precision ------------------------------------------------------
+  /// Re-quantizes every expert's weight caches from the fp32 masters.
+  /// Must run after each optimizer step and checkpoint restore when
+  /// compute_dtype != kF32 (runtime::Trainer does); no-op for kF32.
+  void refresh_quantized_weights();
+
+  /// Accounted bytes of the quantized expert-weight copies on the busiest
+  /// device (0 for kF32) — the Fig-9 weight-memory axis per dtype.
+  std::uint64_t expert_weight_bytes() const;
 
   // ---- parameters (full mode) ----------------------------------------------
   /// All trainable tensors across devices (gating + experts), paired with

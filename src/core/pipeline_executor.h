@@ -9,6 +9,7 @@
 
 #include "core/reuse_strategy.h"
 #include "mem/device_allocator.h"
+#include "tensor/dtype.h"
 #include "sim/profile.h"
 #include "sim/timing_engine.h"
 
@@ -51,6 +52,17 @@ struct StepReport {
   /// gated on MoELayerOptions::trace_execution — inspection output only,
   /// so routine profiled steps skip the serialisation. Empty and
   /// cost-free when profiling is off.
+  /// Wire/storage format the step ran with (MoELayerOptions::compute_dtype).
+  DType compute_dtype = DType::kF32;
+  /// Sum over every AllToAll in the step (fwd + bwd) of the bytes its
+  /// busiest participant sent, in compute_dtype's wire format — the paper's
+  /// Fig-10 payload axis. bf16 halves this vs fp32; int8 quarters it (plus
+  /// one fp32 scale per row).
+  std::uint64_t alltoall_payload_bytes = 0;
+  /// Accounted bytes of the quantized expert-weight copies on the busiest
+  /// device (0 for kF32, where the fp32 masters are the compute weights).
+  std::uint64_t expert_weight_bytes = 0;
+
   bool profiled = false;
   sim::MeasuredTimeline forward_measured;
   sim::MeasuredTimeline backward_measured;

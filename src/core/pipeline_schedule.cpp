@@ -71,6 +71,9 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
   const std::int64_t B = ctx.plan.tokens_per_device;
   const std::int64_t E =
       static_cast<std::int64_t>(P) * ctx.plan.experts_per_device;
+  // Wire/storage format for payloads, offloads and expert GEMMs. The gate
+  // GEMMs and their allreduce stay fp32 — the router is never quantized.
+  const DType dt = ctx.dtype;
   // Forward-only steps never restore, so they never offload: the serving
   // tier's forward graph is a training forward minus every Htdi/Htm op,
   // whatever the strategy says about how a backward *would* restore.
@@ -110,12 +113,15 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
     }
     if (ctx.functional()) {
       auto segments = combine_segments(ctx, p, /*backward=*/false);
-      r_ops[static_cast<std::size_t>(p)] = comm::alltoall(
-          g, group_, std::move(segments), tag("R", p), std::move(deps));
-    } else {
+      ctx.comm_payload_bytes += comm::max_bytes_sent(segments, dt);
       r_ops[static_cast<std::size_t>(p)] =
-          comm::alltoall_timed(g, group_, dispatch_payload_bytes(ctx, p),
-                               tag("R", p), std::move(deps));
+          comm::alltoall(g, group_, std::move(segments), tag("R", p),
+                         std::move(deps), dt);
+    } else {
+      const std::uint64_t payload = dispatch_payload_bytes(ctx, p);
+      ctx.comm_payload_bytes += payload;
+      r_ops[static_cast<std::size_t>(p)] = comm::alltoall_timed(
+          g, group_, payload, tag("R", p), std::move(deps), dt);
     }
     apply_comm_scale(g, r_ops[static_cast<std::size_t>(p)]);
   };
@@ -136,13 +142,16 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
       }
     }
     if (ctx.functional()) {
-      s_ops[static_cast<std::size_t>(p)] = comm::alltoall(
-          g, group_, dispatch_segments(ctx, p), tag("S", p),
-          std::move(s_deps));
-    } else {
+      auto segments = dispatch_segments(ctx, p);
+      ctx.comm_payload_bytes += comm::max_bytes_sent(segments, dt);
       s_ops[static_cast<std::size_t>(p)] =
-          comm::alltoall_timed(g, group_, dispatch_payload_bytes(ctx, p),
-                               tag("S", p), std::move(s_deps));
+          comm::alltoall(g, group_, std::move(segments), tag("S", p),
+                         std::move(s_deps), dt);
+    } else {
+      const std::uint64_t payload = dispatch_payload_bytes(ctx, p);
+      ctx.comm_payload_bytes += payload;
+      s_ops[static_cast<std::size_t>(p)] = comm::alltoall_timed(
+          g, group_, payload, tag("S", p), std::move(s_deps), dt);
     }
     apply_comm_scale(g, s_ops[static_cast<std::size_t>(p)]);
 
@@ -150,15 +159,14 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
     if (offload_tdi) {
       for (int d = 0; d < P; ++d) {
         const std::int64_t rows = recv_rows(ctx, p, d);
-        const std::uint64_t bytes =
-            static_cast<std::uint64_t>(rows) * M * sizeof(float);
+        const std::uint64_t bytes = quantized_bytes(rows, M, dt);
         std::function<void()> fn;
         if (ctx.functional()) {
           auto* c = &ctx;
           auto* st = &staging_;
-          fn = [c, st, p, d, rows] {
+          fn = [c, st, p, d, rows, dt] {
             offload_rows(*st, d, staging_key("tdi", p),
-                         tdi_buffer(*c, d, p), rows);
+                         tdi_buffer(*c, d, p), rows, dt);
           };
         }
         const int id =
@@ -206,8 +214,9 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
       }
       const int id =
           g.add(tag("C1_", p, d), OpCategory::kGemm, StreamKind::kCompute,
-                {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
-                std::move(fn), cost.gemm_efficiency(er));
+                {d}, cost.gemm_seconds(flops, er, dt) / compute_scale_,
+                std::move(deps), std::move(fn),
+                cost.gemm_efficiency(er, dt));
       if (ctx.functional()) {
         sim::Op& op = g.op(id);
         op.reads.push_back(sim::access_rows(tdi_buffer(ctx, d, p), 0, rows));
@@ -223,15 +232,14 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
     if (offload_tm) {
       for (int d = 0; d < P; ++d) {
         const std::int64_t rows = recv_rows(ctx, p, d);
-        const std::uint64_t bytes =
-            static_cast<std::uint64_t>(rows) * H * sizeof(float);
+        const std::uint64_t bytes = quantized_bytes(rows, H, dt);
         std::function<void()> fn;
         if (ctx.functional()) {
           auto* c = &ctx;
           auto* st = &staging_;
-          fn = [c, st, p, d, rows] {
+          fn = [c, st, p, d, rows, dt] {
             offload_rows(*st, d, staging_key("tm", p), tm_buffer(*c, d, p),
-                         rows);
+                         rows, dt);
           };
         }
         const int id =
@@ -277,8 +285,9 @@ sim::OpGraph PipelineScheduleBuilder::build_forward(
       }
       const int id =
           g.add(tag("C2_", p, d), OpCategory::kGemm, StreamKind::kCompute,
-                {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
-                std::move(fn), cost.gemm_efficiency(er));
+                {d}, cost.gemm_seconds(flops, er, dt) / compute_scale_,
+                std::move(deps), std::move(fn),
+                cost.gemm_efficiency(er, dt));
       if (ctx.functional()) {
         sim::Op& op = g.op(id);
         op.reads.push_back(sim::access_rows(tm_buffer(ctx, d, p), 0, rows));
@@ -345,6 +354,7 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
   const std::int64_t B = ctx.plan.tokens_per_device;
   const std::int64_t E =
       static_cast<std::int64_t>(P) * ctx.plan.experts_per_device;
+  const DType dt = ctx.dtype;
   const bool tdi_by_comm = restores_tdi_by_comm(ctx.strategy);
   const bool tm_by_recompute = restores_tm_by_recompute(ctx.strategy);
 
@@ -428,13 +438,16 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
       }
     }
     if (ctx.functional()) {
-      sb[static_cast<std::size_t>(p)] = comm::alltoall(
-          g, group_, grad_dispatch_segments(ctx, p), tag("S'", p),
-          std::move(s_deps));
-    } else {
+      auto segments = grad_dispatch_segments(ctx, p);
+      ctx.comm_payload_bytes += comm::max_bytes_sent(segments, dt);
       sb[static_cast<std::size_t>(p)] =
-          comm::alltoall_timed(g, group_, dispatch_payload_bytes(ctx, p),
-                               tag("S'", p), std::move(s_deps));
+          comm::alltoall(g, group_, std::move(segments), tag("S'", p),
+                         std::move(s_deps), dt);
+    } else {
+      const std::uint64_t payload = dispatch_payload_bytes(ctx, p);
+      ctx.comm_payload_bytes += payload;
+      sb[static_cast<std::size_t>(p)] = comm::alltoall_timed(
+          g, group_, payload, tag("S'", p), std::move(s_deps), dt);
     }
     apply_comm_scale(g, sb[static_cast<std::size_t>(p)]);
 
@@ -463,13 +476,16 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
         // Re-communication: replay the forward dispatch (S2, S4).
         std::vector<int> deps = war_tdi;
         if (ctx.functional()) {
-          rc_tdi[static_cast<std::size_t>(p)] = comm::alltoall(
-              g, group_, dispatch_segments(ctx, p), tag("Sr", p),
-              std::move(deps));
+          auto segments = dispatch_segments(ctx, p);
+          ctx.comm_payload_bytes += comm::max_bytes_sent(segments, dt);
+          rc_tdi[static_cast<std::size_t>(p)] =
+              comm::alltoall(g, group_, std::move(segments), tag("Sr", p),
+                             std::move(deps), dt);
         } else {
+          const std::uint64_t payload = dispatch_payload_bytes(ctx, p);
+          ctx.comm_payload_bytes += payload;
           rc_tdi[static_cast<std::size_t>(p)] = comm::alltoall_timed(
-              g, group_, dispatch_payload_bytes(ctx, p), tag("Sr", p),
-              std::move(deps));
+              g, group_, payload, tag("Sr", p), std::move(deps), dt);
         }
         apply_comm_scale(g, rc_tdi[static_cast<std::size_t>(p)]);
         for (int d = 0; d < P; ++d) {
@@ -480,8 +496,7 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
         // Prefetch from host (S1, S3).
         for (int d = 0; d < P; ++d) {
           const std::int64_t rows = recv_rows(ctx, p, d);
-          const std::uint64_t bytes =
-              static_cast<std::uint64_t>(rows) * M * sizeof(float);
+          const std::uint64_t bytes = quantized_bytes(rows, M, dt);
           std::vector<int> deps = war_tdi;
           std::function<void()> fn;
           if (ctx.functional()) {
@@ -533,8 +548,9 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
           }
           const int id =
               g.add(tag("Cr", p, d), OpCategory::kGemm, StreamKind::kCompute,
-                    {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
-                    std::move(fn), cost.gemm_efficiency(er));
+                    {d}, cost.gemm_seconds(flops, er, dt) / compute_scale_,
+                    std::move(deps), std::move(fn),
+                    cost.gemm_efficiency(er, dt));
           if (ctx.functional()) {
             sim::Op& op = g.op(id);
             op.reads.push_back(
@@ -549,8 +565,7 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
               id;
         } else {
           // Prefetch T_M from host (S1, S2).
-          const std::uint64_t bytes =
-              static_cast<std::uint64_t>(rows) * H * sizeof(float);
+          const std::uint64_t bytes = quantized_bytes(rows, H, dt);
           std::function<void()> fn;
           if (ctx.functional()) {
             auto* c = &ctx;
@@ -609,8 +624,9 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
       }
       const int id =
           g.add(tag("Cb", p, d), OpCategory::kGemm, StreamKind::kCompute,
-                {d}, cost.gemm_seconds(flops, er) / compute_scale_, std::move(deps),
-                std::move(fn), cost.gemm_efficiency(er));
+                {d}, cost.gemm_seconds(flops, er, dt) / compute_scale_,
+                std::move(deps), std::move(fn),
+                cost.gemm_efficiency(er, dt));
       if (ctx.functional()) {
         sim::Op& op = g.op(id);
         op.reads.push_back(
@@ -635,13 +651,16 @@ sim::OpGraph PipelineScheduleBuilder::build_backward(
                          [static_cast<std::size_t>(d)]);
       }
       if (ctx.functional()) {
+        auto segments = combine_segments(ctx, q, true);
+        ctx.comm_payload_bytes += comm::max_bytes_sent(segments, dt);
         rb[static_cast<std::size_t>(q)] =
-            comm::alltoall(g, group_, combine_segments(ctx, q, true),
-                           tag("R'", q), std::move(deps));
+            comm::alltoall(g, group_, std::move(segments), tag("R'", q),
+                           std::move(deps), dt);
       } else {
-        rb[static_cast<std::size_t>(q)] =
-            comm::alltoall_timed(g, group_, dispatch_payload_bytes(ctx, q),
-                                 tag("R'", q), std::move(deps));
+        const std::uint64_t payload = dispatch_payload_bytes(ctx, q);
+        ctx.comm_payload_bytes += payload;
+        rb[static_cast<std::size_t>(q)] = comm::alltoall_timed(
+            g, group_, payload, tag("R'", q), std::move(deps), dt);
       }
       apply_comm_scale(g, rb[static_cast<std::size_t>(q)]);
     };

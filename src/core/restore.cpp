@@ -187,9 +187,9 @@ std::uint64_t dispatch_payload_bytes(const MoeStepContext& ctx, int p) {
     std::uint64_t sent = 0;
     for (int j = 0; j < ctx.num_devices(); ++j) {
       if (j == d) continue;
-      sent += static_cast<std::uint64_t>(
-                  routing.send_counts[static_cast<std::size_t>(j)]) *
-              static_cast<std::uint64_t>(ctx.d_model) * sizeof(float);
+      sent += quantized_bytes(
+          routing.send_counts[static_cast<std::size_t>(j)], ctx.d_model,
+          ctx.dtype);
     }
     mx = std::max(mx, sent);
   }
@@ -202,14 +202,15 @@ std::string staging_key(const char* what, int p) {
 
 void offload_rows(mem::HostStaging& staging, int device,
                   const std::string& key, const Tensor& buf,
-                  std::int64_t rows) {
+                  std::int64_t rows, DType dtype) {
   // Strict store (no allow_overwrite): every key here is per-partition
   // ("tdi:pN" / "tm:pN") and consumed exactly once by prefetch_rows, and
   // MoELayer::forward() clears the staging store at step entry — so even a
   // step replayed after a mid-forward fault starts from an empty store. A
   // collision therefore means two ring slots mapped to one key, which must
   // fail loudly rather than mask a double-stash.
-  staging.store(device, key, buf.slice_rows(0, rows));
+  staging.store(device, key, buf.slice_rows(0, rows),
+                /*allow_overwrite=*/false, dtype);
 }
 
 void prefetch_rows(mem::HostStaging& staging, int device,

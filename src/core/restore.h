@@ -59,18 +59,21 @@ std::vector<comm::RowSegment> grad_dispatch_segments(MoeStepContext& ctx,
 std::vector<comm::RowSegment> combine_segments(MoeStepContext& ctx, int p,
                                                bool backward);
 
-/// Max bytes any device ships in partition p's dispatch — the timing-only
-/// AllToAll payload (also correct for combine, which is symmetric).
+/// Max bytes any device ships in partition p's dispatch, counted in
+/// ctx.dtype's wire format (dtype-width elements plus int8 row scales) —
+/// the timing-only AllToAll payload (also correct for combine, which is
+/// symmetric).
 std::uint64_t dispatch_payload_bytes(const MoeStepContext& ctx, int p);
 
 // ---- offload round trip -----------------------------------------------------
 
 std::string staging_key(const char* what, int p);
 
-/// D2H: stores the first `rows` rows of `buf` under (device, key).
+/// D2H: stores the first `rows` rows of `buf` under (device, key), in
+/// `dtype`'s wire format (values rounded, bytes accounted quantized).
 void offload_rows(mem::HostStaging& staging, int device,
                   const std::string& key, const Tensor& buf,
-                  std::int64_t rows);
+                  std::int64_t rows, DType dtype = DType::kF32);
 
 /// H2D: restores a staged tensor into the head rows of `buf` and drops the
 /// staged copy.

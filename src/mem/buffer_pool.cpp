@@ -6,14 +6,14 @@ namespace mpipe::mem {
 
 BufferPool::BufferPool(DeviceAllocator& allocator, std::string name,
                        Shape slot_shape, int depth, Category category,
-                       bool materialize)
+                       bool materialize, DType account_dtype)
     : name_(std::move(name)), slot_shape_(slot_shape), depth_(depth) {
   MPIPE_EXPECTS(depth >= 1, "pool depth must be >= 1");
   slots_.reserve(static_cast<std::size_t>(depth));
   try {
     for (int i = 0; i < depth; ++i) {
       slots_.push_back(allocator.alloc_tensor(slot_shape, category,
-                                              materialize));
+                                              materialize, account_dtype));
     }
   } catch (...) {
     // Mid-acquisition failure (real or injected OOM): release the

@@ -21,8 +21,12 @@ class BufferPool {
   /// Allocates `depth` slots of `slot_shape` on `allocator` under
   /// `category`. `name` labels ops that touch the pool. With
   /// materialize = false the slots are accounting-only (timing-only mode).
+  /// `account_dtype` accounts each slot at its wire-format size
+  /// (DeviceAllocator::alloc_tensor) — used for the dispatch/combine
+  /// payload rings, whose rows a real device stores in the reduced dtype.
   BufferPool(DeviceAllocator& allocator, std::string name, Shape slot_shape,
-             int depth, Category category, bool materialize = true);
+             int depth, Category category, bool materialize = true,
+             DType account_dtype = DType::kF32);
 
   /// Slot backing partition `index` (index % depth).
   Tensor& slot(int index);

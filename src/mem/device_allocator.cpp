@@ -81,9 +81,12 @@ Allocation DeviceAllocator::allocate(Category category, std::uint64_t bytes) {
 }
 
 TrackedTensor DeviceAllocator::alloc_tensor(Shape shape, Category category,
-                                            bool materialize) {
+                                            bool materialize,
+                                            DType account_dtype) {
   const std::uint64_t bytes =
-      static_cast<std::uint64_t>(shape.numel()) * sizeof(float);
+      account_dtype != DType::kF32 && shape.rank() == 2
+          ? quantized_bytes(shape.dim(0), shape.dim(1), account_dtype)
+          : static_cast<std::uint64_t>(shape.numel()) * sizeof(float);
   TrackedTensor out;
   out.allocation = allocate(category, bytes);
   if (materialize) {

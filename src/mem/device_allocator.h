@@ -11,6 +11,7 @@
 
 #include "common/fault_injection.h"
 #include "mem/memory_tracker.h"
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
 namespace mpipe::mem {
@@ -72,8 +73,15 @@ class DeviceAllocator {
   /// Allocates a zeroed tensor with accounting. With materialize = false
   /// only the accounting happens (timing-only runs at paper scale must not
   /// touch real storage); the tensor member stays undefined.
+  ///
+  /// `account_dtype` sets the accounted footprint of a rank-2 shape to its
+  /// wire/storage format (quantized_bytes) while the materialized tensor
+  /// stays fp32 — the simulation computes in fp32 on values already rounded
+  /// through the wire format, but a real device would hold the reduced
+  /// bytes. kF32 keeps the exact legacy accounting.
   TrackedTensor alloc_tensor(Shape shape, Category category,
-                             bool materialize = true);
+                             bool materialize = true,
+                             DType account_dtype = DType::kF32);
 
   MemoryTracker& tracker() { return tracker_; }
   const MemoryTracker& tracker() const { return tracker_; }

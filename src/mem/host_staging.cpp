@@ -1,13 +1,21 @@
 #include "mem/host_staging.h"
 
 #include "common/check.h"
+#include "tensor/quant.h"
 
 namespace mpipe::mem {
 
 void HostStaging::store(int device, const std::string& key, const Tensor& t,
-                        bool allow_overwrite) {
+                        bool allow_overwrite, DType dtype) {
   MPIPE_EXPECTS(t.defined(), "staging a null tensor");
   Tensor copy = t.clone();  // deep copy outside the lock
+  std::uint64_t bytes = copy.nbytes();
+  if (dtype != DType::kF32 && copy.shape().rank() == 2) {
+    // Stage in the wire format: round the values the way the reduced
+    // storage would, account the bytes host RAM would actually hold.
+    round_through_dtype(copy.data(), copy.dim(0), copy.dim(1), dtype);
+    bytes = quantized_bytes(copy.dim(0), copy.dim(1), dtype);
+  }
   const auto k = std::make_pair(device, key);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(k);
@@ -18,13 +26,13 @@ void HostStaging::store(int device, const std::string& key, const Tensor& t,
                       "' is already staged — a live entry was about to be "
                       "silently overwritten (pass allow_overwrite to "
                       "replace deliberately)");
-    bytes_ -= it->second.nbytes();
-    it->second = std::move(copy);
-    bytes_ += it->second.nbytes();
+    bytes_ -= it->second.bytes;
+    it->second = Entry{std::move(copy), bytes};
+    bytes_ += bytes;
     return;
   }
-  auto [pos, inserted] = store_.emplace(k, std::move(copy));
-  bytes_ += pos->second.nbytes();
+  store_.emplace(k, Entry{std::move(copy), bytes});
+  bytes_ += bytes;
 }
 
 Tensor HostStaging::load(int device, const std::string& key) const {
@@ -35,7 +43,7 @@ Tensor HostStaging::load(int device, const std::string& key) const {
     MPIPE_EXPECTS(it != store_.end(),
                   "no staged tensor for device " + std::to_string(device) +
                       " key '" + key + "'");
-    staged = it->second;  // shallow share under the lock...
+    staged = it->second.t;  // shallow share under the lock...
   }
   return staged.clone();  // ...deep copy outside it
 }
@@ -49,7 +57,7 @@ void HostStaging::drop(int device, const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(std::make_pair(device, key));
   if (it == store_.end()) return;
-  bytes_ -= it->second.nbytes();
+  bytes_ -= it->second.bytes;
   store_.erase(it);
 }
 
@@ -57,7 +65,7 @@ void HostStaging::clear_device(int device) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = store_.begin(); it != store_.end();) {
     if (it->first.first == device) {
-      bytes_ -= it->second.nbytes();
+      bytes_ -= it->second.bytes;
       it = store_.erase(it);
     } else {
       ++it;

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
 namespace mpipe::mem {
@@ -30,8 +31,14 @@ class HostStaging {
   /// the masked double-stash bug a silent overwrite would hide. Callers
   /// that *intend* replacement (e.g. re-staging a partition after a step
   /// replay) must say so with `allow_overwrite`.
+  ///
+  /// A reduced `dtype` models offloading in the wire format: the staged
+  /// copy's values are rounded through bf16 / int8-per-row before storage
+  /// and the entry is accounted at the quantized byte size (elements +
+  /// int8 row scales), so bytes_stored() reports what host RAM would
+  /// actually hold. The restored tensor is the rounded fp32 expansion.
   void store(int device, const std::string& key, const Tensor& t,
-             bool allow_overwrite = false);
+             bool allow_overwrite = false, DType dtype = DType::kF32);
 
   /// Retrieves a copy; throws if absent.
   Tensor load(int device, const std::string& key) const;
@@ -56,8 +63,13 @@ class HostStaging {
   const void* slot_token(int device, const std::string& key);
 
  private:
+  struct Entry {
+    Tensor t;
+    std::uint64_t bytes = 0;  ///< accounted (possibly quantized) bytes
+  };
+
   mutable std::mutex mu_;
-  std::map<std::pair<int, std::string>, Tensor> store_;
+  std::map<std::pair<int, std::string>, Entry> store_;
   std::map<std::pair<int, std::string>, char> tokens_;
   std::uint64_t bytes_ = 0;
 };

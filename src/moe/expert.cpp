@@ -27,6 +27,54 @@ ExpertFFN::ExpertFFN(std::int64_t d_model, std::int64_t d_hidden,
   init_kaiming(w2_, rng, d_hidden);
 }
 
+namespace {
+
+/// GEMM view of a quantized weight cache.
+QuantView qview(const QuantizedMatrix& q) {
+  return {q.dtype,
+          q.dtype == DType::kBF16
+              ? static_cast<const void*>(q.bf16.data())
+              : static_cast<const void*>(q.i8.data()),
+          q.scales.empty() ? nullptr : q.scales.data(), q.rows, q.cols};
+}
+
+}  // namespace
+
+void ExpertFFN::set_compute_dtype(DType dtype) {
+  compute_dtype_ = dtype;
+  if (dtype == DType::kF32) {
+    qw1_ = QuantizedMatrix{};
+    qw2_ = QuantizedMatrix{};
+    return;
+  }
+  refresh_quantized();
+}
+
+void ExpertFFN::refresh_quantized() {
+  if (compute_dtype_ == DType::kF32) return;
+  qw1_ = quantize_matrix(w1_, compute_dtype_);
+  qw2_ = quantize_matrix(w2_, compute_dtype_);
+}
+
+/// FFN1: mid = epilogue(x W1 + b1), through the quantized W1 when a
+/// reduced dtype is active.
+void ExpertFFN::ffn1(const Tensor& x, GemmEpilogue ep, Tensor& mid) const {
+  if (compute_dtype_ == DType::kF32) {
+    gemm_bias_act(x, w1_, b1_, ep, mid);
+  } else {
+    gemm_bias_act_q(x, qview(qw1_), b1_, ep, mid);
+  }
+}
+
+/// FFN2: out = act W2 + b2.
+void ExpertFFN::ffn2(const Tensor& act, Tensor& out) const {
+  if (compute_dtype_ == DType::kF32) {
+    gemm_bias(act, w2_, b2_, out);
+  } else {
+    gemm_bias_act_q(act, qview(qw2_), b2_, GemmEpilogue::kBias, out);
+  }
+}
+
 // T_M stash convention: with ReLU, `mid` holds the post-activation values
 // (in-place semantics, paper §II-B) — the ReLU mask is recoverable from
 // them. With GELU the post-activation is not invertible, so `mid` holds
@@ -41,14 +89,14 @@ Tensor ExpertFFN::forward(const Tensor& x, Tensor& mid) const {
   Tensor act;
   if (activation_ == ActivationKind::kReLU) {
     // FFN1 with the bias+ReLU epilogue fused into the GEMM tile writes.
-    gemm_bias_act(x, w1_, b1_, GemmEpilogue::kBiasReLU, mid);
+    ffn1(x, GemmEpilogue::kBiasReLU, mid);
     act = mid;
   } else {
-    gemm_bias(x, w1_, b1_, mid);  // stash pre-activation
+    ffn1(x, GemmEpilogue::kBias, mid);  // stash pre-activation
     act = gelu(mid);
   }
   Tensor out(Shape{x.dim(0), d_model()});
-  gemm_bias(act, w2_, b2_, out);
+  ffn2(act, out);
   return out;
 }
 
@@ -61,7 +109,11 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   // packed dy panels; dAct = dy W2^T.
   gemm_tn_bias_grad(act, dy, gw2_, gb2_, /*accumulate=*/true);
   Tensor dact(Shape{x.dim(0), d_hidden()});
-  gemm_nt(dy, w2_, dact);
+  if (compute_dtype_ == DType::kF32) {
+    gemm_nt(dy, w2_, dact);
+  } else {
+    gemm_nt_q(dy, qview(qw2_), dact);
+  }
   // Through the activation (ReLU's mask works on post-activation values;
   // GELU differentiates at the stashed pre-activation).
   Tensor dpre = activation_ == ActivationKind::kReLU
@@ -70,7 +122,11 @@ Tensor ExpertFFN::backward(const Tensor& dy, const Tensor& x,
   // dW1 += x^T dpre and db1 += colsum(dpre), same fused pass; dx = dpre W1^T.
   gemm_tn_bias_grad(x, dpre, gw1_, gb1_, /*accumulate=*/true);
   Tensor dx(Shape{x.dim(0), d_model()});
-  gemm_nt(dpre, w1_, dx);
+  if (compute_dtype_ == DType::kF32) {
+    gemm_nt(dpre, w1_, dx);
+  } else {
+    gemm_nt_q(dpre, qview(qw1_), dx);
+  }
   return dx;
 }
 
@@ -194,7 +250,7 @@ void ExpertFFN::forward_out_rows(const Tensor& mid_buf,
   Tensor mid = gather_spans(mid_buf, spans);
   Tensor act = activation_ == ActivationKind::kReLU ? mid : gelu(mid);
   Tensor out(Shape{mid.dim(0), d_model()});
-  gemm_bias(act, w2_, b2_, out);
+  ffn2(act, out);
   scatter_spans(out, out_buf, spans);
 }
 
@@ -218,9 +274,9 @@ void ExpertFFN::recompute_mid_rows(const Tensor& in_buf,
   // Same stash convention as forward(): ReLU keeps post-activation, GELU
   // keeps pre-activation — both with the bias (and ReLU) fused.
   if (activation_ == ActivationKind::kReLU) {
-    gemm_bias_act(x, w1_, b1_, GemmEpilogue::kBiasReLU, mid);
+    ffn1(x, GemmEpilogue::kBiasReLU, mid);
   } else {
-    gemm_bias(x, w1_, b1_, mid);
+    ffn1(x, GemmEpilogue::kBias, mid);
   }
   scatter_spans(mid, mid_buf, spans);
 }

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "moe/config.h"
 #include "moe/dispatcher.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace mpipe::moe {
@@ -66,10 +68,35 @@ class ExpertFFN {
   std::int64_t d_hidden() const { return w1_.dim(1); }
   ActivationKind activation() const { return activation_; }
 
+  // ---- mixed-precision weight storage --------------------------------------
+  /// Selects the storage dtype for W1/W2 (MoELayerOptions::compute_dtype).
+  /// Non-f32 keeps the fp32 tensors as master weights (the optimizer and
+  /// weight-grad GEMMs still use them) plus a quantized side copy that
+  /// every forward / dX GEMM dequantizes at pack time. kF32 drops the
+  /// copies and restores the exact legacy path. Biases stay fp32.
+  void set_compute_dtype(DType dtype);
+  DType compute_dtype() const { return compute_dtype_; }
+
+  /// Re-quantizes the weight caches from the current master weights.
+  /// Must run after every optimizer update (and checkpoint restore) or
+  /// the compute path silently uses stale weights. No-op for kF32.
+  void refresh_quantized();
+
+  /// Accounted bytes of the quantized W1/W2 copies (0 for kF32) — what a
+  /// real device would hold for the forward path instead of fp32 weights.
+  std::uint64_t quantized_weight_bytes() const {
+    return qw1_.nbytes() + qw2_.nbytes();
+  }
+
  private:
+  void ffn1(const Tensor& x, GemmEpilogue ep, Tensor& mid) const;
+  void ffn2(const Tensor& act, Tensor& out) const;
+
   ActivationKind activation_;
   Tensor w1_, b1_, w2_, b2_;
   Tensor gw1_, gb1_, gw2_, gb2_;
+  DType compute_dtype_ = DType::kF32;
+  QuantizedMatrix qw1_, qw2_;
 };
 
 /// Copies the rows of `buf` covered by `spans` into one fresh packed

@@ -132,6 +132,9 @@ double Trainer::train_step_impl(bool guard, bool& non_finite) {
     }
 
     optimizer_->step();
+    // The optimizer wrote new fp32 masters; a non-f32 layer's compute path
+    // reads the quantized caches, which are stale until re-quantized.
+    layer_->refresh_quantized_weights();
     const core::StepReport& report = layer_->last_report();
     metrics_.record_step(loss, report);
     metrics_.recovery().straggler_flags += report.stragglers.size();
@@ -307,6 +310,8 @@ void Trainer::restore_from_bytes(const std::vector<std::uint8_t>& bytes) {
   // the imported state then repopulates.
   layer_->set_corrections(corrections_);
   layer_->searcher().import_state(st.searcher);
+  // Restored fp32 masters invalidate any quantized weight caches.
+  layer_->refresh_quantized_weights();
   consecutive_non_finite_ = 0;
 }
 

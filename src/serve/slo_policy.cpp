@@ -26,7 +26,9 @@ std::string ServePlan::summary() const {
      << max_batch_tokens << " total), n=" << n_partitions << ", predicted "
      << predicted_seconds * 1e3 << " ms"
      << (slo_feasible ? "" : " [SLO INFEASIBLE — degraded to smallest rung]")
-     << ", Eq-10 forward argmin " << core::to_string(strategy);
+     << ", Eq-10 forward argmin " << core::to_string(strategy)
+     << ", dtype " << to_string(compute_dtype);
+  if (!curve_provenance.empty()) os << " (" << curve_provenance << ")";
   return os.str();
 }
 
@@ -40,6 +42,31 @@ SloSelector::SloSelector(core::MoELayer& layer, SloPolicyOptions options)
 ServePlan SloSelector::plan() {
   ServePlan plan;
   const auto candidates = candidate_partitions(layer_->options());
+  const DType dt = layer_->options().compute_dtype;
+  plan.compute_dtype = dt;
+  {
+    // Record which curves probe_forward_seconds will consult for this
+    // dtype, so the summary can say what ranked the rungs.
+    const auto& cfg = layer_->cluster().cost_model().config();
+    auto gemm_src = [&]() -> std::string {
+      const auto& c = cfg.gemm_curve_for(dt);
+      if (c.empty()) return "analytic";
+      if (dt != DType::kF32 && &c != &cfg.gemm_curve) {
+        return std::string("calibrated[") + to_string(dt) + "]";
+      }
+      return "calibrated[shared]";
+    };
+    auto comm_src = [&]() -> std::string {
+      const auto& c = cfg.comm_curve_for(dt);
+      if (c.empty()) return "analytic";
+      if (dt != DType::kF32 && &c != &cfg.comm_curve) {
+        return std::string("calibrated[") + to_string(dt) + "]";
+      }
+      return "calibrated[shared]";
+    };
+    plan.curve_provenance =
+        "gemm " + gemm_src() + ", comm " + comm_src();
+  }
 
   // Probe ladder: powers of two up to max_tokens_per_device, plus the cap
   // itself when it is not a power of two.

@@ -57,6 +57,16 @@ struct ServePlan {
   /// Every probed rung, ascending batch size (inspection / tests).
   std::vector<ServeRung> rungs;
 
+  /// Wire/storage dtype the probed layer runs with
+  /// (MoELayerOptions::compute_dtype) — the format every rung's predicted
+  /// latency was costed in.
+  DType compute_dtype = DType::kF32;
+  /// Which cost curves the ranked probes consulted, e.g.
+  /// "gemm calibrated[bf16], comm calibrated[shared]" — calibrated[<dtype>]
+  /// is a dtype-specific sweep, calibrated[shared] the fp32 curve fallback,
+  /// analytic the closed-form model.
+  std::string curve_provenance;
+
   std::string summary() const;
 };
 

@@ -156,6 +156,24 @@ void CommBandwidthCurve::validate_covers(std::uint64_t lo,
           "] — re-run bench/calibrate_comm with a wider payload sweep");
 }
 
+const GemmEfficiencyCurve& CostModelConfig::gemm_curve_for(
+    DType dtype) const {
+  if (dtype == DType::kBF16 && !gemm_curve_bf16.empty()) {
+    return gemm_curve_bf16;
+  }
+  if (dtype == DType::kI8 && !gemm_curve_i8.empty()) return gemm_curve_i8;
+  return gemm_curve;
+}
+
+const CommBandwidthCurve& CostModelConfig::comm_curve_for(
+    DType dtype) const {
+  if (dtype == DType::kBF16 && !comm_curve_bf16.empty()) {
+    return comm_curve_bf16;
+  }
+  if (dtype == DType::kI8 && !comm_curve_i8.empty()) return comm_curve_i8;
+  return comm_curve;
+}
+
 CostModel::CostModel(CostModelConfig config, Topology topology)
     : config_(std::move(config)), topology_(std::move(topology)) {
   MPIPE_EXPECTS(config_.peak_flops > 0, "peak_flops must be positive");
@@ -163,28 +181,42 @@ CostModel::CostModel(CostModelConfig config, Topology topology)
   MPIPE_EXPECTS(config_.gemm_max_efficiency > 0 &&
                     config_.gemm_max_efficiency <= 1.0,
                 "efficiency bound must be in (0, 1]");
-  if (!config_.gemm_curve.empty()) config_.gemm_curve.validate();
-  if (!config_.comm_curve.empty()) {
-    config_.comm_curve.validate();
-    comm_peak_rate_ = config_.comm_curve.peak_rate();
+  for (const auto* curve :
+       {&config_.gemm_curve, &config_.gemm_curve_bf16,
+        &config_.gemm_curve_i8}) {
+    if (!curve->empty()) curve->validate();
+  }
+  for (const auto* curve :
+       {&config_.comm_curve, &config_.comm_curve_bf16,
+        &config_.comm_curve_i8}) {
+    if (!curve->empty()) curve->validate();
+  }
+  for (DType dtype : {DType::kF32, DType::kBF16, DType::kI8}) {
+    const CommBandwidthCurve& curve = config_.comm_curve_for(dtype);
+    if (!curve.empty()) {
+      comm_peak_rate_[static_cast<int>(dtype)] = curve.peak_rate();
+    }
   }
 }
 
-double CostModel::gemm_efficiency(std::int64_t rows) const {
+double CostModel::gemm_efficiency(std::int64_t rows, DType dtype) const {
   MPIPE_EXPECTS(rows > 0, "gemm with no rows");
-  if (!config_.gemm_curve.empty()) return config_.gemm_curve.eval(rows);
+  const GemmEfficiencyCurve& curve = config_.gemm_curve_for(dtype);
+  if (!curve.empty()) return curve.eval(rows);
   const double r = static_cast<double>(rows);
   return config_.gemm_max_efficiency * r / (r + config_.gemm_half_sat_rows);
 }
 
-double CostModel::gemm_seconds(std::uint64_t flops, std::int64_t rows) const {
-  const double eff = gemm_efficiency(rows);
+double CostModel::gemm_seconds(std::uint64_t flops, std::int64_t rows,
+                               DType dtype) const {
+  const double eff = gemm_efficiency(rows, dtype);
   return config_.compute_launch_latency +
          static_cast<double>(flops) / (config_.peak_flops * eff);
 }
 
 double CostModel::alltoall_seconds(std::uint64_t bytes_per_device,
-                                   const std::vector<int>& group) const {
+                                   const std::vector<int>& group,
+                                   DType dtype) const {
   MPIPE_EXPECTS(group.size() >= 2, "alltoall needs >= 2 participants");
   const double p = static_cast<double>(group.size());
   double bw = topology_.alltoall_bandwidth(group);
@@ -193,9 +225,10 @@ double CostModel::alltoall_seconds(std::uint64_t bytes_per_device,
   // A calibrated curve derates the link by the measured payload-dependent
   // efficiency (small exchanges never saturate it); the curve's shape is
   // measured on the calibration host, the scale stays the topology's.
-  if (!config_.comm_curve.empty() && payload >= 1.0) {
-    bw *= config_.comm_curve.efficiency_at(
-        static_cast<std::uint64_t>(payload), comm_peak_rate_);
+  const CommBandwidthCurve& curve = config_.comm_curve_for(dtype);
+  if (!curve.empty() && payload >= 1.0) {
+    bw *= curve.efficiency_at(static_cast<std::uint64_t>(payload),
+                              comm_peak_rate_[static_cast<int>(dtype)]);
   }
   return config_.comm_launch_latency + payload / bw;
 }

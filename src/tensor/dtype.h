@@ -1,0 +1,63 @@
+#pragma once
+/// \file dtype.h
+/// Element dtypes for the mixed-precision expert path. Tensor storage
+/// stays fp32 (it is the simulation's host-memory stand-in for HBM and
+/// the accumulation format); a DType describes the *wire/storage* format
+/// of expert weights and dispatch/combine payloads: how many bytes an
+/// element occupies on the simulated device/link, and which rounding the
+/// values go through. kF32 is the default everywhere and is required to
+/// be a bitwise no-op on both values and accounting.
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,   ///< 4-byte IEEE float, exact (the legacy path)
+  kBF16 = 1,  ///< 2-byte bfloat16, round-to-nearest-even from fp32
+  kI8 = 2,    ///< 1-byte int8 with one fp32 absmax/127 scale per row
+};
+
+/// Bytes per element (scales excluded — int8 rows carry one extra fp32
+/// scale each; use quantized_bytes for whole-buffer accounting).
+inline std::int64_t dtype_bytes(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 4;
+    case DType::kBF16:
+      return 2;
+    case DType::kI8:
+      return 1;
+  }
+  MPIPE_UNREACHABLE("unknown dtype");
+}
+
+/// Accounted bytes of a rows x cols buffer stored in `dtype`, including
+/// the per-row fp32 scales the int8 format carries alongside the payload.
+inline std::uint64_t quantized_bytes(std::int64_t rows, std::int64_t cols,
+                                     DType dtype) {
+  std::uint64_t bytes = static_cast<std::uint64_t>(rows) *
+                        static_cast<std::uint64_t>(cols) *
+                        static_cast<std::uint64_t>(dtype_bytes(dtype));
+  if (dtype == DType::kI8) {
+    bytes += static_cast<std::uint64_t>(rows) * sizeof(float);
+  }
+  return bytes;
+}
+
+inline const char* to_string(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kI8:
+      return "i8";
+  }
+  MPIPE_UNREACHABLE("unknown dtype");
+}
+
+}  // namespace mpipe

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace mpipe {
 
@@ -79,32 +80,82 @@ void pack_a(const MatView& a, std::int64_t i0, std::int64_t k0,
   }
 }
 
+/// The B operand in any storage dtype: `trans` means the logical
+/// (k x n) element (k, j) lives at data[j * ld + k]. `scales` is the
+/// per-stored-row fp32 scale array (kI8 only).
+struct BView {
+  const void* data;
+  std::int64_t ld;
+  bool trans;
+  DType dtype = DType::kF32;
+  const float* scales = nullptr;
+};
+
 /// Packs the logical B block [k0, k0+kc) x [j0, j0+nb) into NR-column micro
-/// panels ([k][j] order), zero-padding ragged columns.
-void pack_b(const MatView& b, std::int64_t k0, std::int64_t j0,
-            std::int64_t kc, std::int64_t nb, float* MPIPE_RESTRICT out) {
+/// panels ([k][j] order), zero-padding ragged columns. Templated over the
+/// stored element type with a converter mapping (element, stored row) to
+/// fp32 — dequantization rides the same pass as the nt transpose, so the
+/// micro-kernel always consumes fp32 panels. The fp32 instantiation's
+/// converter is the identity: loop-for-loop the legacy copy.
+template <typename T, typename Conv>
+void pack_b_t(const T* MPIPE_RESTRICT data, std::int64_t ld, bool trans,
+              const Conv& conv, std::int64_t k0, std::int64_t j0,
+              std::int64_t kc, std::int64_t nb, float* MPIPE_RESTRICT out) {
   for (std::int64_t jp = 0; jp < nb; jp += kNR) {
     const std::int64_t nr = std::min(kNR, nb - jp);
     float* MPIPE_RESTRICT panel = out + jp * kc;
-    if (b.trans) {
+    if (trans) {
       // B stored (n x k): each output column is unit-stride in k.
       for (std::int64_t j = 0; j < nr; ++j) {
-        const float* MPIPE_RESTRICT src =
-            b.data + (j0 + jp + j) * b.ld + k0;
-        for (std::int64_t k = 0; k < kc; ++k) panel[k * kNR + j] = src[k];
+        const std::int64_t row = j0 + jp + j;
+        const T* MPIPE_RESTRICT src = data + row * ld + k0;
+        for (std::int64_t k = 0; k < kc; ++k) {
+          panel[k * kNR + j] = conv(src[k], row);
+        }
       }
       for (std::int64_t j = nr; j < kNR; ++j) {
         for (std::int64_t k = 0; k < kc; ++k) panel[k * kNR + j] = 0.0f;
       }
     } else {
       for (std::int64_t k = 0; k < kc; ++k) {
-        const float* MPIPE_RESTRICT src = b.data + (k0 + k) * b.ld + j0 + jp;
+        const std::int64_t row = k0 + k;
+        const T* MPIPE_RESTRICT src = data + row * ld + j0 + jp;
         float* MPIPE_RESTRICT dst = panel + k * kNR;
-        for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+        for (std::int64_t j = 0; j < nr; ++j) dst[j] = conv(src[j], row);
         for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
       }
     }
   }
+}
+
+/// Dtype dispatch for pack_b_t — one switch per panel, nothing in the
+/// element loops.
+void pack_b(const BView& b, std::int64_t k0, std::int64_t j0,
+            std::int64_t kc, std::int64_t nb, float* MPIPE_RESTRICT out) {
+  switch (b.dtype) {
+    case DType::kF32:
+      pack_b_t(
+          static_cast<const float*>(b.data), b.ld, b.trans,
+          [](float v, std::int64_t) { return v; }, k0, j0, kc, nb, out);
+      return;
+    case DType::kBF16:
+      pack_b_t(
+          static_cast<const std::uint16_t*>(b.data), b.ld, b.trans,
+          [](std::uint16_t v, std::int64_t) { return f32_from_bf16(v); },
+          k0, j0, kc, nb, out);
+      return;
+    case DType::kI8: {
+      const float* MPIPE_RESTRICT scales = b.scales;
+      pack_b_t(
+          static_cast<const std::int8_t*>(b.data), b.ld, b.trans,
+          [scales](std::int8_t v, std::int64_t row) {
+            return static_cast<float>(v) * scales[row];
+          },
+          k0, j0, kc, nb, out);
+      return;
+    }
+  }
+  MPIPE_UNREACHABLE("unknown dtype");
 }
 
 /// C[0..mr) x [0..nr) (+)= Apanel * Bpanel over kc steps. The accumulator
@@ -230,7 +281,7 @@ void reduce_b_panel(const float* MPIPE_RESTRICT bpack, std::int64_t kc,
 /// accumulates colsum(B) from the packed panels it already holds; K slices
 /// reduce in order inside that one task, keeping the sum deterministic
 /// under any thread count.
-void gemm_driver(const MatView& a, const MatView& b, float* c,
+void gemm_driver(const MatView& a, const BView& b, float* c,
                  std::int64_t ldc, std::int64_t m, std::int64_t n,
                  std::int64_t k, bool accumulate, const float* bias,
                  GemmEpilogue ep, float* bias_grad = nullptr) {
@@ -368,6 +419,48 @@ void gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
 void gemm_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
                Tensor& c) {
   gemm_bias_act(a, b, bias, GemmEpilogue::kBias, c);
+}
+
+namespace {
+
+void check_quant_b(const QuantView& b) {
+  MPIPE_EXPECTS(b.data != nullptr && b.rows > 0 && b.cols > 0,
+                "quantized B operand is null");
+  MPIPE_EXPECTS(b.dtype != DType::kI8 || b.row_scales != nullptr,
+                "int8 B operand needs per-row scales");
+}
+
+}  // namespace
+
+void gemm_bias_act_q(const Tensor& a, const QuantView& b, const Tensor& bias,
+                     GemmEpilogue epilogue, Tensor& c) {
+  check_2d(a, "A");
+  check_2d(c, "C");
+  check_quant_b(b);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.cols;
+  MPIPE_EXPECTS(b.rows == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  const float* bias_ptr = nullptr;
+  if (epilogue != GemmEpilogue::kNone) {
+    MPIPE_EXPECTS(bias.defined() && bias.shape().rank() == 1 &&
+                      bias.dim(0) == n,
+                  "bias length must equal output columns");
+    bias_ptr = bias.data();
+  }
+  gemm_driver({a.data(), k, false}, {b.data, n, false, b.dtype, b.row_scales},
+              c.data(), n, m, n, k, /*accumulate=*/false, bias_ptr, epilogue);
+}
+
+void gemm_nt_q(const Tensor& a, const QuantView& b, Tensor& c,
+               bool accumulate) {
+  check_2d(a, "A");
+  check_2d(c, "C");
+  check_quant_b(b);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.rows;
+  MPIPE_EXPECTS(b.cols == k, "inner dimension mismatch");
+  MPIPE_EXPECTS(c.dim(0) == m && c.dim(1) == n, "output shape mismatch");
+  gemm_driver({a.data(), k, false}, {b.data, k, true, b.dtype, b.row_scales},
+              c.data(), n, m, n, k, accumulate, nullptr, GemmEpilogue::kNone);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

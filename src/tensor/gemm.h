@@ -7,6 +7,7 @@
 /// pass over C. These kernels carry all expert/gating compute; see
 /// src/tensor/README.md for the design and measured throughput.
 
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
 namespace mpipe {
@@ -51,6 +52,33 @@ void gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
 /// C = A(MxK) * B(KxN) + bias — gemm_bias_act with the kBias epilogue.
 void gemm_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
                Tensor& c);
+
+// ---- mixed-precision B operand ---------------------------------------------
+// The quantized entry points mirror their fp32 twins but take the B
+// (weight) operand in reduced-precision storage. Dequantization happens
+// at pack time — the same place the nt/tn transpose already happens — so
+// the 8x16 micro-kernel and its fp32 accumulators are untouched: one
+// compute core for every dtype. A kF32 QuantView routes through the
+// identical packing code as the fp32 entry points (bitwise identical).
+
+/// A rows x cols matrix in `dtype` storage as the GEMM consumes it.
+/// `data` points at fp32 / bf16(u16) / int8 elements per dtype;
+/// `row_scales` is the per-stored-row fp32 scale array (kI8 only).
+struct QuantView {
+  DType dtype = DType::kF32;
+  const void* data = nullptr;
+  const float* row_scales = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+};
+
+/// C = epilogue(A(MxK) * B(KxN) + bias), B dequantized at pack time.
+void gemm_bias_act_q(const Tensor& a, const QuantView& b, const Tensor& bias,
+                     GemmEpilogue epilogue, Tensor& c);
+
+/// C = A(MxK) * B^T(NxK) (+ C if accumulate), B dequantized at pack time.
+void gemm_nt_q(const Tensor& a, const QuantView& b, Tensor& c,
+               bool accumulate = false);
 
 /// Returns A*B as a fresh tensor.
 Tensor matmul(const Tensor& a, const Tensor& b);

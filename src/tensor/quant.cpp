@@ -1,0 +1,124 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mpipe {
+
+void round_through_bf16(float* data, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) data[i] = bf16_round(data[i]);
+}
+
+void round_through_i8_rows(float* data, std::int64_t rows,
+                           std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = data + r * cols;
+    float absmax = 0.0f;
+    bool finite = true;  // std::max drops NaN, so track finiteness apart
+    for (std::int64_t c = 0; c < cols; ++c) {
+      finite = finite && std::isfinite(row[c]);
+      absmax = std::max(absmax, std::fabs(row[c]));
+    }
+    if (!finite) continue;         // keep corruption detectable
+    if (absmax == 0.0f) continue;  // all-zero row is exact
+    const float scale = absmax / 127.0f;
+    const float inv = 127.0f / absmax;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      // Cast through int8 so the value is bitwise what dequantize_matrix
+      // produces (nearbyint alone yields -0.0 for small negatives).
+      row[c] = static_cast<float>(static_cast<std::int8_t>(
+                   std::nearbyint(row[c] * inv))) *
+               scale;
+    }
+  }
+}
+
+void round_through_dtype(float* data, std::int64_t rows, std::int64_t cols,
+                         DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return;
+    case DType::kBF16:
+      round_through_bf16(data, rows * cols);
+      return;
+    case DType::kI8:
+      round_through_i8_rows(data, rows, cols);
+      return;
+  }
+  MPIPE_UNREACHABLE("unknown dtype");
+}
+
+QuantizedMatrix quantize_matrix(const Tensor& w, DType dtype) {
+  QuantizedMatrix q;
+  if (dtype == DType::kF32) return q;
+  MPIPE_EXPECTS(w.defined() && w.shape().rank() == 2,
+                "quantize_matrix needs a 2-D tensor");
+  q.dtype = dtype;
+  q.rows = w.dim(0);
+  q.cols = w.dim(1);
+  const float* src = w.data();
+  const std::int64_t n = q.rows * q.cols;
+  if (dtype == DType::kBF16) {
+    q.bf16.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) q.bf16[i] = bf16_from_f32(src[i]);
+    return q;
+  }
+  q.i8.resize(static_cast<std::size_t>(n));
+  q.scales.resize(static_cast<std::size_t>(q.rows));
+  for (std::int64_t r = 0; r < q.rows; ++r) {
+    const float* row = src + r * q.cols;
+    float absmax = 0.0f;
+    bool finite = true;  // std::max drops NaN, so track finiteness apart
+    for (std::int64_t c = 0; c < q.cols; ++c) {
+      finite = finite && std::isfinite(row[c]);
+      absmax = std::max(absmax, std::fabs(row[c]));
+    }
+    std::int8_t* dst = q.i8.data() + r * q.cols;
+    if (!finite) {
+      // Poison the scale: dequantized values stay non-finite, so the
+      // numerics guard sees the corruption instead of a silently-clean
+      // quantized copy.
+      q.scales[static_cast<std::size_t>(r)] =
+          std::numeric_limits<float>::quiet_NaN();
+      for (std::int64_t c = 0; c < q.cols; ++c) dst[c] = 1;
+      continue;
+    }
+    if (absmax == 0.0f) {
+      q.scales[static_cast<std::size_t>(r)] = 0.0f;
+      for (std::int64_t c = 0; c < q.cols; ++c) dst[c] = 0;
+      continue;
+    }
+    const float inv = 127.0f / absmax;
+    q.scales[static_cast<std::size_t>(r)] = absmax / 127.0f;
+    for (std::int64_t c = 0; c < q.cols; ++c) {
+      dst[c] = static_cast<std::int8_t>(std::nearbyint(row[c] * inv));
+    }
+  }
+  return q;
+}
+
+Tensor dequantize_matrix(const QuantizedMatrix& q) {
+  MPIPE_EXPECTS(q.defined(), "dequantize_matrix on an undefined matrix");
+  Tensor out(Shape{q.rows, q.cols});
+  float* dst = out.data();
+  const std::int64_t n = q.rows * q.cols;
+  if (q.dtype == DType::kBF16) {
+    for (std::int64_t i = 0; i < n; ++i) dst[i] = f32_from_bf16(q.bf16[i]);
+    return out;
+  }
+  for (std::int64_t r = 0; r < q.rows; ++r) {
+    const float scale = q.scales[static_cast<std::size_t>(r)];
+    const std::int8_t* src = q.i8.data() + r * q.cols;
+    float* row = dst + r * q.cols;
+    for (std::int64_t c = 0; c < q.cols; ++c) {
+      row[c] = static_cast<float>(src[c]) * scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpipe

@@ -1,0 +1,99 @@
+#pragma once
+/// \file quant.h
+/// bf16 / int8 codecs for the mixed-precision expert path. Two users:
+///  - weight caches: ExpertFFN keeps fp32 master weights and a
+///    QuantizedMatrix side copy that the packed GEMM dequantizes at pack
+///    time (see gemm.h QuantView);
+///  - payload rounding: the simulated alltoall and host staging round
+///    fp32 values through the wire format in place (round_through_*), so
+///    the functional math observes exactly the precision a real bf16/int8
+///    link would deliver while the buffers stay fp32.
+/// All codecs propagate non-finite values (NaN stays NaN through bf16;
+/// int8 rows containing a non-finite value are passed through verbatim),
+/// so comm::scan_payloads corruption detection keeps working per-dtype.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/tensor.h"
+
+namespace mpipe {
+
+// ---- bf16 scalar codec ------------------------------------------------------
+// Inline: these run per element inside the GEMM pack loops and the
+// payload rounding sweeps.
+
+/// fp32 -> bf16 with round-to-nearest-even. NaN is quieted (never turned
+/// into Inf by truncation); Inf and zero round to themselves.
+inline std::uint16_t bf16_from_f32(float v) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: truncation could clear every mantissa bit and fabricate an
+    // Inf; force a quiet-NaN payload bit instead.
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the discarded low 16 bits. Inf (low bits
+  // zero) and zero round to themselves.
+  return static_cast<std::uint16_t>((u + 0x7fffu + ((u >> 16) & 1u)) >> 16);
+}
+
+/// bf16 -> fp32; exact (bf16 is the high half of the fp32 bit pattern).
+inline float f32_from_bf16(std::uint16_t v) {
+  const std::uint32_t u = static_cast<std::uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &u, sizeof(out));
+  return out;
+}
+
+/// v rounded through bf16 and back — the value a bf16 wire delivers.
+inline float bf16_round(float v) { return f32_from_bf16(bf16_from_f32(v)); }
+
+// ---- buffer rounding (simulated wire format) --------------------------------
+
+/// Rounds n fp32 values through bf16 in place.
+void round_through_bf16(float* data, std::int64_t n);
+
+/// Rounds `rows` rows of `cols` fp32 values through int8-with-per-row-
+/// absmax-scale in place. All-zero rows stay zero; rows containing a
+/// non-finite value are left untouched so corruption stays detectable.
+void round_through_i8_rows(float* data, std::int64_t rows, std::int64_t cols);
+
+/// Rounds rows x cols values through `dtype`'s wire format (kF32 no-op).
+void round_through_dtype(float* data, std::int64_t rows, std::int64_t cols,
+                         DType dtype);
+
+// ---- quantized weight matrices ----------------------------------------------
+
+/// A rows x cols matrix stored in a reduced-precision format plus the
+/// metadata the packed GEMM needs to dequantize at pack time. kF32 is
+/// represented as "no cache" (defined() == false) — callers fall back to
+/// the fp32 master tensor.
+struct QuantizedMatrix {
+  DType dtype = DType::kF32;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::uint16_t> bf16;  ///< rows*cols, kBF16 only
+  std::vector<std::int8_t> i8;      ///< rows*cols, kI8 only
+  std::vector<float> scales;        ///< one absmax/127 scale per row, kI8
+
+  bool defined() const { return dtype != DType::kF32 && rows > 0; }
+  /// Accounted storage bytes (elements + int8 row scales).
+  std::uint64_t nbytes() const {
+    return defined() ? quantized_bytes(rows, cols, dtype) : 0;
+  }
+};
+
+/// Quantizes a 2-D fp32 tensor into `dtype` storage. kF32 returns an
+/// undefined matrix (callers use the master tensor directly). Rows whose
+/// absmax is non-finite get a NaN scale (kI8), so dequantized values stay
+/// non-finite and numerics guards still fire.
+QuantizedMatrix quantize_matrix(const Tensor& w, DType dtype);
+
+/// Expands a quantized matrix back to fp32 — the reference the packed
+/// GEMM's pack-time dequant must match bitwise.
+Tensor dequantize_matrix(const QuantizedMatrix& q);
+
+}  // namespace mpipe
